@@ -1,0 +1,31 @@
+//! Criterion bench: the cost of Algorithm 1 (block-structured pruning) and
+//! of the random rBP baseline over a full model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rt3_pruning::{
+    block_prune_model, random_block_prune_model, BlockPruningConfig, PruneCriterion,
+};
+use rt3_transformer::{TransformerConfig, TransformerLm};
+
+fn bench_bp(c: &mut Criterion) {
+    let model = TransformerLm::new(TransformerConfig::paper_transformer(512), 9);
+    let config = BlockPruningConfig {
+        num_blocks: 4,
+        criterion: PruneCriterion::Fraction(0.5),
+    };
+    let mut group = c.benchmark_group("block_pruning");
+    group.sample_size(20);
+    group.bench_function("algorithm1_full_model", |b| {
+        b.iter(|| block_prune_model(&model, &config))
+    });
+    group.bench_function("random_bp_full_model", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| random_block_prune_model(&model, 4, 0.5, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bp);
+criterion_main!(benches);

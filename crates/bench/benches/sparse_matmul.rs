@@ -1,0 +1,60 @@
+//! Criterion bench: dense vs COO vs CSR vs block-pruned vs pattern-pruned
+//! matmul kernels at the same sparsity (the hardware-efficiency argument of
+//! the paper's Challenge 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rt3_sparse::{
+    BlockPartition, BlockPrunedMatrix, CooMatrix, CsrMatrix, PatternMask, PatternPrunedMatrix,
+    PatternSet,
+};
+use rt3_tensor::Matrix;
+
+fn block_sparse_matrix(n: usize, sparsity: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0f32));
+    let blocks = 4;
+    let keep = ((1.0 - sparsity) * n as f64) as usize;
+    for (b, range) in BlockPartition::even(n, blocks).ranges().iter().enumerate() {
+        for c in 0..n {
+            if (c + b * 7) % n >= keep {
+                for r in range.0..range.1 {
+                    m.set(r, c, 0.0);
+                }
+            }
+        }
+    }
+    m
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 96;
+    let sparsity = 0.75;
+    let dense = block_sparse_matrix(n, sparsity, 1);
+    let rhs = Matrix::from_fn(n, 16, |i, j| ((i * 3 + j) as f32).sin());
+    let coo = CooMatrix::from_dense(&dense);
+    let csr = CsrMatrix::from_dense(&dense);
+    let bp = BlockPrunedMatrix::from_dense(&dense, &BlockPartition::even(n, 4));
+    let mut rng = StdRng::seed_from_u64(2);
+    let set = PatternSet::new(vec![
+        PatternMask::random(8, sparsity, &mut rng),
+        PatternMask::random(8, sparsity, &mut rng),
+        PatternMask::random(8, sparsity, &mut rng),
+        PatternMask::random(8, sparsity, &mut rng),
+    ])
+    .expect("non-empty set");
+    let pp = PatternPrunedMatrix::from_dense(&dense, &set);
+
+    let mut group = c.benchmark_group("sparse_matmul_96x96_s75");
+    group.sample_size(20);
+    group.bench_function("dense", |b| b.iter(|| dense.matmul(&rhs)));
+    group.bench_function("coo", |b| b.iter(|| coo.matmul_dense(&rhs)));
+    group.bench_function("csr", |b| b.iter(|| csr.matmul_dense(&rhs)));
+    group.bench_function("block_pruned", |b| b.iter(|| bp.matmul_dense(&rhs)));
+    group.bench_function("pattern_pruned", |b| b.iter(|| pp.matmul_dense(&rhs)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: pattern-set switch vs full model reload (the Table III
+//! "Interrupt" comparison), measured as the cost-model evaluation plus the
+//! in-memory mask rebuild that a real switch performs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rt3_core::switch_time_comparison;
+use rt3_pruning::{combined_masks_for_model, generate_pattern_space, PatternSpaceConfig};
+use rt3_pruning::{block_prune_model, BlockPruningConfig};
+use rt3_transformer::{Model, TransformerConfig, TransformerLm};
+
+fn bench_switch(c: &mut Criterion) {
+    let model = TransformerLm::new(TransformerConfig::paper_transformer(256), 3);
+    let backbone = block_prune_model(&model, &BlockPruningConfig::default());
+    let space = generate_pattern_space(
+        &model,
+        &backbone,
+        &[0.5, 0.75],
+        &PatternSpaceConfig {
+            pattern_size: 8,
+            patterns_per_set: 2,
+            sample_fraction: 0.5,
+            seed: 1,
+        },
+    );
+    let prunable = model.prunable_parameter_names();
+    let mut group = c.benchmark_group("reconfiguration");
+    group.sample_size(20);
+    group.bench_function("pattern_set_switch_mask_rebuild", |b| {
+        b.iter(|| {
+            combined_masks_for_model(&model, &backbone, &prunable, &space.candidates()[0].set)
+        })
+    });
+    group.bench_function("switch_cost_model_distilbert_scale", |b| {
+        b.iter(|| switch_time_comparison(100, 4, 66_000_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

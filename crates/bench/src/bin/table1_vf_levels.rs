@@ -1,0 +1,26 @@
+//! Reproduces Table I: the voltage/frequency levels of the Odroid-XU3
+//! Cortex-A7 cluster, plus the derived power of each level under the
+//! calibrated power model.
+
+use rt3_bench::print_header;
+use rt3_hardware::{PowerModel, VfLevel};
+
+fn main() {
+    print_header("Table I: V/F levels supported by the ARM Cortex-A7 (Odroid-XU3)");
+    let power = PowerModel::cortex_a7();
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "Notation", "freq (MHz)", "vol (mV)", "power (W)"
+    );
+    for level in VfLevel::odroid_xu3_a7() {
+        println!(
+            "l{:<9} {:>12.0} {:>12.2} {:>14.3}",
+            level.index,
+            level.frequency_mhz,
+            level.voltage_mv,
+            power.power_w(&level)
+        );
+    }
+    println!();
+    println!("Paper reference: Table I lists the same six freq/voltage pairs.");
+}

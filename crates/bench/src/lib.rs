@@ -1,0 +1,82 @@
+//! # rt3-bench
+//!
+//! Benchmark harness of the RT3 reproduction: one binary per table and
+//! figure of the paper's evaluation section, plus Criterion micro-benchmarks
+//! for the sparse kernels, pruning passes, RL search and pattern-set switch.
+//!
+//! Run e.g. `cargo run -p rt3-bench --bin table3_automl` to regenerate the
+//! Table III rows, or `cargo bench --workspace` for the micro-benchmarks.
+//! EXPERIMENTS.md records paper-reported vs measured values for each target.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a section header for a table/figure reproduction binary.
+pub fn print_header(title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+}
+
+/// Formats a float as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats a number of runs in units of 10^6, as the paper's tables do.
+pub fn runs_millions(x: f64) -> String {
+    format!("{:.2}e6", x / 1.0e6)
+}
+
+/// The standard experiment setup shared by the table binaries: a small live
+/// Transformer model (pruning decisions are made on real weight matrices)
+/// combined with the paper-scale workload shape used by the latency model.
+pub mod setup {
+    use rt3_core::Rt3Config;
+    use rt3_transformer::{TransformerConfig, TransformerLm};
+
+    /// The live model whose weights drive the pruning decisions.
+    pub fn live_model() -> TransformerLm {
+        TransformerLm::new(TransformerConfig::paper_transformer(512), 0x52_54)
+    }
+
+    /// Configuration for the WikiText-2-style experiments under a timing
+    /// constraint in milliseconds.
+    pub fn wikitext_config(timing_constraint_ms: f64) -> Rt3Config {
+        let mut cfg = Rt3Config::wikitext_default();
+        cfg.timing_constraint_ms = timing_constraint_ms;
+        cfg.episodes = 40;
+        cfg.candidate_sparsities = 6;
+        cfg.pattern_space.pattern_size = 8;
+        cfg.pattern_space.patterns_per_set = 4;
+        cfg
+    }
+
+    /// Configuration for the DistilBERT-style GLUE experiments.
+    pub fn distilbert_config(timing_constraint_ms: f64) -> Rt3Config {
+        let mut cfg = Rt3Config::distilbert_default(timing_constraint_ms);
+        cfg.episodes = 40;
+        cfg.candidate_sparsities = 6;
+        cfg.pattern_space.pattern_size = 8;
+        cfg.pattern_space.patterns_per_set = 4;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(runs_millions(2_500_000.0), "2.50e6");
+    }
+
+    #[test]
+    fn setups_are_valid() {
+        assert!(setup::wikitext_config(104.0).validate().is_ok());
+        assert!(setup::distilbert_config(200.0).validate().is_ok());
+        let _ = setup::live_model();
+    }
+}

@@ -1,0 +1,514 @@
+//! The two optimisation levels of RT3.
+//!
+//! * [`run_level1`] applies block-structured pruning to the model, evaluates
+//!   the backbone and freezes it (the paper's component ①).
+//! * [`run_level2_search`] runs the RL search over the shrunken pattern
+//!   search space (components ②–④): the controller proposes one candidate
+//!   pattern set per V/F level, the performance predictor supplies latency
+//!   and number-of-runs, the accuracy evaluator supplies the software
+//!   metric, and Eq. (1) turns them into the reward.
+
+use crate::config::Rt3Config;
+use crate::evaluator::{AccuracyEvaluator, PruningSpec};
+use crate::pareto::{pareto_front_indices, ParetoPoint};
+use crate::reward::{compute_reward, RewardCase};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rt3_hardware::{number_of_runs, ModelWorkload, PowerModel};
+use rt3_pruning::{
+    block_prune_model, combined_masks_for_model, generate_pattern_space, random_block_prune_model,
+    PatternSpace,
+};
+use rt3_rl::{Controller, ControllerConfig};
+use rt3_sparse::SparseFormat;
+use rt3_transformer::{MaskSet, Model};
+use serde::{Deserialize, Serialize};
+
+/// Output of Level 1: the frozen backbone masks and their evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackboneResult {
+    /// Per-parameter keep masks of the backbone model `C`.
+    pub masks: MaskSet,
+    /// Overall sparsity of the backbone.
+    pub sparsity: f64,
+    /// Task score of the backbone (`A_o` in Eq. (1)).
+    pub accuracy: f64,
+    /// Task score of the original, unpruned model.
+    pub unpruned_accuracy: f64,
+    /// Whether Level 1 used importance-guided BP (`true`) or the random rBP
+    /// baseline (`false`).
+    pub guided: bool,
+}
+
+/// Runs Level 1 (block-structured pruning) and evaluates the backbone.
+pub fn run_level1<M: Model, E: AccuracyEvaluator>(
+    model: &M,
+    config: &Rt3Config,
+    evaluator: &mut E,
+) -> BackboneResult {
+    let masks = block_prune_model(model, &config.block_pruning);
+    let sparsity = masks.overall_sparsity();
+    let unpruned_accuracy = evaluator.unpruned_score();
+    let spec = PruningSpec {
+        sparsity,
+        level1_guided: true,
+        level2: None,
+    };
+    let accuracy = evaluator.evaluate(&masks, &spec);
+    BackboneResult {
+        masks,
+        sparsity,
+        accuracy,
+        unpruned_accuracy,
+        guided: true,
+    }
+}
+
+/// Runs the random Level-1 baseline (rBP) at approximately the same sparsity
+/// as the guided pass would reach.
+pub fn run_level1_random<M: Model, E: AccuracyEvaluator>(
+    model: &M,
+    config: &Rt3Config,
+    evaluator: &mut E,
+    prune_fraction: f64,
+) -> BackboneResult {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5bad);
+    let masks = random_block_prune_model(
+        model,
+        config.block_pruning.num_blocks,
+        prune_fraction,
+        &mut rng,
+    );
+    let sparsity = masks.overall_sparsity();
+    let unpruned_accuracy = evaluator.unpruned_score();
+    let spec = PruningSpec {
+        sparsity,
+        level1_guided: false,
+        level2: None,
+    };
+    let accuracy = evaluator.evaluate(&masks, &spec);
+    BackboneResult {
+        masks,
+        sparsity,
+        accuracy,
+        unpruned_accuracy,
+        guided: false,
+    }
+}
+
+/// One explored solution: a full assignment of pattern sets to V/F levels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolutionPoint {
+    /// Chosen candidate index per level (ordered from the highest-frequency
+    /// level, M1, to the lowest, Mn).
+    pub actions: Vec<usize>,
+    /// Combined (backbone ∧ pattern) sparsity per level.
+    pub sparsities: Vec<f64>,
+    /// Predicted latency per level in milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Task score per level.
+    pub accuracies: Vec<f64>,
+    /// Weighted accuracy `A_w`.
+    pub weighted_accuracy: f64,
+    /// Total number of runs within the energy budget.
+    pub number_of_runs: f64,
+    /// Reward assigned by Eq. (1).
+    pub reward: f64,
+    /// Whether every level met the timing constraint.
+    pub meets_constraint: bool,
+}
+
+impl ParetoPoint for SolutionPoint {
+    fn accuracy_objective(&self) -> f64 {
+        self.weighted_accuracy
+    }
+
+    fn runs_objective(&self) -> f64 {
+        self.number_of_runs
+    }
+}
+
+/// Outcome of the Level-2 RL search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The best feasible solution found (highest reward among solutions that
+    /// meet the timing constraint), if any.
+    pub best: Option<SolutionPoint>,
+    /// Every explored solution, in episode order.
+    pub history: Vec<SolutionPoint>,
+    /// Indices into `history` of the Pareto-optimal feasible solutions.
+    pub pareto_indices: Vec<usize>,
+    /// The candidate pattern-set sparsities that were available to the
+    /// controller.
+    pub candidate_sparsities: Vec<f64>,
+}
+
+impl SearchOutcome {
+    /// The Pareto-optimal solutions themselves.
+    pub fn pareto_front(&self) -> Vec<&SolutionPoint> {
+        self.pareto_indices.iter().map(|&i| &self.history[i]).collect()
+    }
+}
+
+/// Evaluates one assignment of candidate pattern sets to V/F levels.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_solution<M: Model, E: AccuracyEvaluator>(
+    model: &M,
+    backbone: &BackboneResult,
+    space: &PatternSpace,
+    config: &Rt3Config,
+    evaluator: &mut E,
+    actions: &[usize],
+    level2_guided: bool,
+    max_runs_reference: f64,
+) -> SolutionPoint {
+    let predictor = config.predictor;
+    let power = PowerModel::cortex_a7();
+    let prunable = model.prunable_parameter_names();
+    // levels ordered high frequency -> low frequency (M1 first, as in the paper)
+    let mut levels: Vec<_> = config.governor.levels().to_vec();
+    levels.reverse();
+    let mut sparsities = Vec::with_capacity(actions.len());
+    let mut latencies = Vec::with_capacity(actions.len());
+    let mut accuracies = Vec::with_capacity(actions.len());
+    let mut total_runs = 0.0;
+    let budget_per_level = config.energy_budget_j / actions.len() as f64;
+    for (slot, (&action, level)) in actions.iter().zip(levels.iter()).enumerate() {
+        let candidate = &space.candidates()[action];
+        let masks =
+            combined_masks_for_model(model, &backbone.masks, &prunable, &candidate.set);
+        let sparsity = masks.overall_sparsity();
+        let workload = ModelWorkload::from_config(
+            &config.workload_config,
+            sparsity,
+            config.seq_len,
+            SparseFormat::BlockPruned,
+        );
+        let latency = predictor.latency_ms(&workload, level);
+        let energy = power.energy_per_inference_j(level, latency);
+        total_runs += number_of_runs(budget_per_level, energy);
+        let spec = PruningSpec {
+            sparsity,
+            level1_guided: backbone.guided,
+            level2: Some(level2_guided),
+        };
+        let accuracy = evaluator.evaluate(&masks, &spec);
+        let _ = slot;
+        sparsities.push(sparsity);
+        latencies.push(latency);
+        accuracies.push(accuracy);
+    }
+    let runs_term = if max_runs_reference > 0.0 {
+        total_runs / max_runs_reference
+    } else {
+        0.0
+    };
+    let breakdown = compute_reward(
+        &config.reward,
+        backbone.accuracy,
+        &accuracies,
+        &latencies,
+        runs_term,
+        config.timing_constraint_ms,
+    );
+    SolutionPoint {
+        actions: actions.to_vec(),
+        sparsities,
+        latencies_ms: latencies,
+        accuracies,
+        weighted_accuracy: breakdown.weighted_accuracy,
+        number_of_runs: total_runs,
+        reward: breakdown.reward,
+        meets_constraint: breakdown.case != RewardCase::DeadlineMiss,
+    }
+}
+
+/// Upper bound on the number of runs: every level uses the sparsest
+/// candidate. Used to normalise `R_runs` into `[0, 1]`.
+fn max_runs_reference<M: Model>(
+    model: &M,
+    backbone: &BackboneResult,
+    space: &PatternSpace,
+    config: &Rt3Config,
+) -> f64 {
+    let predictor = config.predictor;
+    let power = PowerModel::cortex_a7();
+    let prunable = model.prunable_parameter_names();
+    let sparsest = space
+        .candidates()
+        .last()
+        .expect("pattern space is never empty");
+    let masks = combined_masks_for_model(model, &backbone.masks, &prunable, &sparsest.set);
+    let sparsity = masks.overall_sparsity();
+    let mut levels: Vec<_> = config.governor.levels().to_vec();
+    levels.reverse();
+    let budget_per_level = config.energy_budget_j / levels.len() as f64;
+    levels
+        .iter()
+        .map(|level| {
+            let workload = ModelWorkload::from_config(
+                &config.workload_config,
+                sparsity,
+                config.seq_len,
+                SparseFormat::BlockPruned,
+            );
+            let latency = predictor.latency_ms(&workload, level);
+            let energy = power.energy_per_inference_j(level, latency);
+            number_of_runs(budget_per_level, energy)
+        })
+        .sum()
+}
+
+/// Generates a uniform candidate sparsity grid between the backbone sparsity
+/// and 0.95 (a simple fallback used by tests and ablations).
+pub fn candidate_sparsities(backbone_sparsity: f64, count: usize) -> Vec<f64> {
+    assert!(count > 0, "at least one candidate sparsity is required");
+    let low = backbone_sparsity.clamp(0.05, 0.9);
+    let high = 0.95;
+    (0..count)
+        .map(|i| {
+            if count == 1 {
+                (low + high) / 2.0
+            } else {
+                low + (high - low) * i as f64 / (count - 1) as f64
+            }
+        })
+        .collect()
+}
+
+/// The paper's constraint-guided candidate selection (component ③): for every
+/// selected V/F level, find the smallest pattern sparsity whose predicted
+/// latency meets the timing constraint `T` (starting from a nearly dense
+/// pattern), then gradually tighten the constraint to fill
+/// `config.candidate_sparsities` ratios in total.
+pub fn constraint_guided_sparsities(config: &Rt3Config) -> Vec<f64> {
+    let predictor = config.predictor;
+    let low = 0.05;
+    let latency_at = |sparsity: f64, level: &rt3_hardware::VfLevel| {
+        let workload = ModelWorkload::from_config(
+            &config.workload_config,
+            sparsity,
+            config.seq_len,
+            SparseFormat::BlockPruned,
+        );
+        predictor.latency_ms(&workload, level)
+    };
+    // minimal sparsity meeting T at each level (bisection over [low, 0.97])
+    let mut candidates: Vec<f64> = Vec::new();
+    for level in config.governor.levels() {
+        let needed = if latency_at(low, level) <= config.timing_constraint_ms {
+            low
+        } else if latency_at(0.97, level) > config.timing_constraint_ms {
+            0.97
+        } else {
+            let (mut lo, mut hi) = (low, 0.97);
+            for _ in 0..24 {
+                let mid = 0.5 * (lo + hi);
+                if latency_at(mid, level) <= config.timing_constraint_ms {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            hi
+        };
+        candidates.push(needed);
+    }
+    // gradually tighten: add slightly sparser variants until θ·N distinct
+    // ratios exist
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-3);
+    let mut step = 0.04;
+    while candidates.len() < config.candidate_sparsities {
+        let base = *candidates.last().expect("at least one candidate");
+        let next = (base + step).min(0.97);
+        if (next - base).abs() < 1e-3 {
+            break;
+        }
+        candidates.push(next);
+        step = 0.04;
+    }
+    candidates.truncate(config.candidate_sparsities.max(1));
+    candidates
+}
+
+/// Builds the shrunken pattern search space for a backbone (component ③),
+/// using the constraint-guided sparsity ratios.
+pub fn build_search_space<M: Model>(
+    model: &M,
+    backbone: &BackboneResult,
+    config: &Rt3Config,
+) -> PatternSpace {
+    let sparsities = constraint_guided_sparsities(config);
+    let _ = backbone.sparsity;
+    generate_pattern_space(model, &backbone.masks, &sparsities, &config.pattern_space)
+}
+
+/// Runs the Level-2 RL search (components ②–④) and returns the explored
+/// history, the Pareto frontier and the best feasible solution.
+pub fn run_level2_search<M: Model, E: AccuracyEvaluator>(
+    model: &M,
+    backbone: &BackboneResult,
+    space: &PatternSpace,
+    config: &Rt3Config,
+    evaluator: &mut E,
+) -> SearchOutcome {
+    config.validate().expect("invalid RT3 configuration");
+    let reference = max_runs_reference(model, backbone, space, config);
+    let mut controller = Controller::new(ControllerConfig {
+        steps: config.num_levels(),
+        actions_per_step: space.len(),
+        hidden_dim: 16,
+        learning_rate: 5e-2,
+        baseline_decay: 0.8,
+        seed: config.seed,
+    });
+    let mut history = Vec::with_capacity(config.episodes);
+    for _ in 0..config.episodes {
+        let episode = controller.sample_episode();
+        let point = evaluate_solution(
+            model,
+            backbone,
+            space,
+            config,
+            evaluator,
+            &episode.actions,
+            true,
+            reference,
+        );
+        controller.update(&episode, point.reward);
+        history.push(point);
+    }
+    // read out the controller's best architecture as a final candidate
+    let best_episode = controller.best_episode();
+    let final_point = evaluate_solution(
+        model,
+        backbone,
+        space,
+        config,
+        evaluator,
+        &best_episode.actions,
+        true,
+        reference,
+    );
+    history.push(final_point);
+    let feasible: Vec<usize> = history
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.meets_constraint)
+        .map(|(i, _)| i)
+        .collect();
+    let best = feasible
+        .iter()
+        .max_by(|&&a, &&b| {
+            history[a]
+                .reward
+                .partial_cmp(&history[b].reward)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|&i| history[i].clone());
+    let feasible_points: Vec<SolutionPoint> =
+        feasible.iter().map(|&i| history[i].clone()).collect();
+    let front_local = pareto_front_indices(&feasible_points);
+    let pareto_indices: Vec<usize> = front_local.into_iter().map(|i| feasible[i]).collect();
+    SearchOutcome {
+        best,
+        history,
+        pareto_indices,
+        candidate_sparsities: space.candidates().iter().map(|c| c.sparsity).collect(),
+    }
+}
+
+/// Evaluates a single externally chosen assignment (used by the heuristic and
+/// random baselines); `level2_guided = false` marks the rPP baseline.
+pub fn evaluate_assignment<M: Model, E: AccuracyEvaluator>(
+    model: &M,
+    backbone: &BackboneResult,
+    space: &PatternSpace,
+    config: &Rt3Config,
+    evaluator: &mut E,
+    actions: &[usize],
+    level2_guided: bool,
+) -> SolutionPoint {
+    let reference = max_runs_reference(model, backbone, space, config);
+    evaluate_solution(
+        model,
+        backbone,
+        space,
+        config,
+        evaluator,
+        actions,
+        level2_guided,
+        reference,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{SurrogateEvaluator, TaskProfile};
+    use rt3_transformer::{TransformerConfig, TransformerLm};
+
+    fn setup() -> (TransformerLm, Rt3Config, SurrogateEvaluator) {
+        let model = TransformerLm::new(TransformerConfig::tiny(32), 7);
+        let config = Rt3Config::tiny_test();
+        let evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+        (model, config, evaluator)
+    }
+
+    #[test]
+    fn level1_produces_a_sparse_backbone_with_small_accuracy_loss() {
+        let (model, config, mut evaluator) = setup();
+        let backbone = run_level1(&model, &config, &mut evaluator);
+        assert!(backbone.sparsity > 0.3);
+        assert!(backbone.accuracy < backbone.unpruned_accuracy);
+        assert!(backbone.unpruned_accuracy - backbone.accuracy < 0.05);
+    }
+
+    #[test]
+    fn random_level1_loses_more_accuracy_than_guided() {
+        let (model, config, mut evaluator) = setup();
+        let guided = run_level1(&model, &config, &mut evaluator);
+        let random = run_level1_random(&model, &config, &mut evaluator, 0.5);
+        assert!(random.accuracy < guided.accuracy);
+    }
+
+    #[test]
+    fn candidate_sparsity_grid_is_increasing_and_bounded() {
+        let grid = candidate_sparsities(0.6, 5);
+        assert_eq!(grid.len(), 5);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        assert!(grid[0] >= 0.6 - 1e-9 && *grid.last().unwrap() <= 0.95 + 1e-9);
+    }
+
+    #[test]
+    fn search_finds_a_feasible_solution_and_pareto_front() {
+        let (model, config, mut evaluator) = setup();
+        let backbone = run_level1(&model, &config, &mut evaluator);
+        let space = build_search_space(&model, &backbone, &config);
+        let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+        assert_eq!(outcome.history.len(), config.episodes + 1);
+        let best = outcome.best.clone().expect("a feasible solution should exist");
+        assert!(best.meets_constraint);
+        assert_eq!(best.accuracies.len(), config.num_levels());
+        assert!(!outcome.pareto_indices.is_empty());
+        // every pareto point is feasible and not dominated by the best
+        for p in outcome.pareto_front() {
+            assert!(p.meets_constraint);
+        }
+    }
+
+    #[test]
+    fn tighter_constraint_never_increases_the_best_accuracy() {
+        let (model, mut config, mut evaluator) = setup();
+        let backbone = run_level1(&model, &config, &mut evaluator);
+        let space = build_search_space(&model, &backbone, &config);
+        config.timing_constraint_ms = 120.0;
+        let loose = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+        config.timing_constraint_ms = 60.0;
+        let tight = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+        let loose_best = loose.best.map(|b| b.weighted_accuracy).unwrap_or(0.0);
+        let tight_best = tight.best.map(|b| b.weighted_accuracy).unwrap_or(0.0);
+        assert!(tight_best <= loose_best + 1e-6);
+    }
+}

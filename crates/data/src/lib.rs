@@ -1,0 +1,40 @@
+//! # rt3-data
+//!
+//! Synthetic data substrate for the RT3 reproduction.
+//!
+//! The paper's experiments use WikiText-2 (next-word prediction for the
+//! small Transformer) and the GLUE benchmark (DistilBERT). Neither dataset
+//! is bundled here; instead this crate generates deterministic synthetic
+//! counterparts with planted, learnable structure (see DESIGN.md for the
+//! substitution rationale):
+//!
+//! * [`MarkovCorpus`] — a "WikiText-like" language-modelling corpus drawn
+//!   from a sparse Markov chain, batched with [`lm_batches`].
+//! * [`TaskDataset`] / [`GlueTask`] — GLUE-style synthetic tasks (single
+//!   sentence, sentence pair and similarity regression).
+//! * Metrics following the GLUE conventions: [`accuracy`], [`f1_score`],
+//!   [`matthews_correlation`], [`spearman_correlation`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rt3_data::{lm_batches, CorpusConfig, MarkovCorpus};
+//!
+//! let corpus = MarkovCorpus::generate(&CorpusConfig::tiny());
+//! let batches = lm_batches(corpus.train(), 8, 16);
+//! assert!(!batches.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod glue;
+mod metrics;
+
+pub use corpus::{lm_batches, CorpusConfig, LmBatch, MarkovCorpus};
+pub use glue::{Example, GlueTask, Label, TaskConfig, TaskDataset, SEP_TOKEN};
+pub use metrics::{
+    accuracy, f1_score, matthews_correlation, pearson_correlation, spearman_correlation,
+    MetricKind,
+};

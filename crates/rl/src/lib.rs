@@ -1,0 +1,27 @@
+//! # rt3-rl
+//!
+//! The reinforcement-learning substrate of RT3: an RNN policy controller
+//! trained with REINFORCE, used by the Level-2 search to pick one candidate
+//! pattern set per V/F level (component ② of the framework).
+//!
+//! # Examples
+//!
+//! ```
+//! use rt3_rl::{Controller, ControllerConfig};
+//!
+//! let mut controller = Controller::new(ControllerConfig {
+//!     steps: 3,
+//!     actions_per_step: 6,
+//!     ..ControllerConfig::default()
+//! });
+//! let episode = controller.sample_episode();
+//! controller.update(&episode, 0.42);
+//! assert!(controller.baseline() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+
+pub use controller::{Controller, ControllerConfig, Episode};

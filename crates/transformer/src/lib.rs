@@ -1,0 +1,46 @@
+//! # rt3-transformer
+//!
+//! From-scratch Transformer models — the substrate that RT3 prunes and
+//! reconfigures.
+//!
+//! The paper evaluates two models: a small encoder–decoder Transformer
+//! (WikiText-2 next-word prediction) and DistilBERT (GLUE). This crate
+//! implements both shapes on top of the [`rt3_tensor`] autograd engine:
+//!
+//! * [`TransformerLm`] — encoder–decoder language model
+//!   ([`TransformerConfig::paper_transformer`] reproduces the 2-encoder /
+//!   1-decoder layout).
+//! * [`SequenceClassifier`] — DistilBERT-style encoder stack with a pooled
+//!   classification/regression head
+//!   ([`TransformerConfig::distilbert_like`]).
+//! * [`MaskSet`] — named binary weight masks; the contract between the
+//!   pruning algorithms (`rt3-pruning`) and masked training here.
+//! * [`train_lm`] / [`train_classifier`] — fine-tuning loops with optional
+//!   masks, used by the RT3 joint-training procedure.
+//!
+//! # Examples
+//!
+//! ```
+//! use rt3_transformer::{Model, TransformerConfig, TransformerLm};
+//!
+//! let model = TransformerLm::new(TransformerConfig::tiny(32), 0);
+//! let next = model.predict(&[1, 2, 3], None);
+//! assert_eq!(next.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod layers;
+mod masks;
+mod model;
+mod trainer;
+
+pub use config::TransformerConfig;
+pub use layers::{DecoderLayer, EncoderLayer, FeedForward, LayerNormParams, MultiHeadAttention};
+pub use masks::MaskSet;
+pub use model::{Model, ParamBindings, SequenceClassifier, TransformerLm};
+pub use trainer::{
+    evaluate_classifier, evaluate_lm, train_classifier, train_lm, TrainOptions, TrainReport,
+};

@@ -1,0 +1,185 @@
+//! Named weight masks: the bridge between the pruning algorithms and masked
+//! training / inference.
+//!
+//! A [`MaskSet`] maps a parameter name (e.g. `"encoder.0.attn.wq"`) to a
+//! binary 0/1 matrix of the same shape. During a forward pass the model
+//! multiplies each masked weight by its mask, so pruned positions contribute
+//! nothing and receive no gradient — exactly the semantics needed both for
+//! Level-1 BP masked fine-tuning and for Level-2 per-pattern-set sub-losses
+//! (Fig. 2 of the paper).
+
+use rt3_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A collection of named binary weight masks.
+///
+/// # Examples
+///
+/// ```
+/// use rt3_transformer::MaskSet;
+/// use rt3_tensor::Matrix;
+///
+/// let mut masks = MaskSet::new();
+/// masks.insert("layer.w", Matrix::from_rows(&[vec![1.0, 0.0]]));
+/// assert!(masks.get("layer.w").is_some());
+/// assert!((masks.overall_sparsity() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MaskSet {
+    masks: BTreeMap<String, Matrix>,
+}
+
+impl MaskSet {
+    /// Creates an empty mask set (no weight is masked).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) the mask for `name`. Values should be 0.0 or
+    /// 1.0; any non-zero value is treated as "keep" by consumers.
+    pub fn insert(&mut self, name: impl Into<String>, mask: Matrix) {
+        self.masks.insert(name.into(), mask);
+    }
+
+    /// The mask for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.masks.get(name)
+    }
+
+    /// Number of masked parameters.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Returns `true` if no parameter is masked.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Iterates over `(name, mask)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.masks.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names of all masked parameters, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.masks.keys().map(String::as_str).collect()
+    }
+
+    /// Combines two mask sets by element-wise AND (a position survives only
+    /// if it survives in both). Parameters masked in only one set keep that
+    /// set's mask. This is how Level-2 pattern masks compose with the fixed
+    /// Level-1 BP mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parameter is masked in both sets with different shapes.
+    pub fn intersect(&self, other: &MaskSet) -> MaskSet {
+        let mut out = self.clone();
+        for (name, mask) in other.iter() {
+            match out.masks.get_mut(name) {
+                Some(existing) => {
+                    assert_eq!(
+                        existing.shape(),
+                        mask.shape(),
+                        "mask shape mismatch for {}",
+                        name
+                    );
+                    *existing = existing.zip(mask, |a, b| if a != 0.0 && b != 0.0 { 1.0 } else { 0.0 });
+                }
+                None => {
+                    out.masks.insert(name.to_string(), mask.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Overall sparsity across all masked parameters (weighted by element
+    /// count). Returns 0.0 for an empty set.
+    pub fn overall_sparsity(&self) -> f64 {
+        let total: usize = self.masks.values().map(Matrix::len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let zeros: usize = self
+            .masks
+            .values()
+            .map(|m| m.len() - m.count_nonzero())
+            .sum();
+        zeros as f64 / total as f64
+    }
+
+    /// Total number of masked-out (pruned) weight elements.
+    pub fn pruned_elements(&self) -> usize {
+        self.masks
+            .values()
+            .map(|m| m.len() - m.count_nonzero())
+            .sum()
+    }
+
+    /// Total number of elements covered by masks.
+    pub fn covered_elements(&self) -> usize {
+        self.masks.values().map(Matrix::len).sum()
+    }
+}
+
+impl FromIterator<(String, Matrix)> for MaskSet {
+    fn from_iter<T: IntoIterator<Item = (String, Matrix)>>(iter: T) -> Self {
+        Self {
+            masks: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, Matrix)> for MaskSet {
+    fn extend<T: IntoIterator<Item = (String, Matrix)>>(&mut self, iter: T) {
+        self.masks.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(values: &[f32]) -> Matrix {
+        Matrix::from_vec(1, values.len(), values.to_vec())
+    }
+
+    #[test]
+    fn sparsity_is_weighted_by_element_count() {
+        let mut m = MaskSet::new();
+        m.insert("a", mask(&[1.0, 0.0]));
+        m.insert("b", mask(&[1.0, 1.0, 1.0, 1.0, 0.0, 0.0]));
+        // 3 zeros out of 8 elements
+        assert!((m.overall_sparsity() - 3.0 / 8.0).abs() < 1e-9);
+        assert_eq!(m.pruned_elements(), 3);
+        assert_eq!(m.covered_elements(), 8);
+    }
+
+    #[test]
+    fn intersect_requires_both_masks_to_keep() {
+        let mut a = MaskSet::new();
+        a.insert("w", mask(&[1.0, 1.0, 0.0, 0.0]));
+        let mut b = MaskSet::new();
+        b.insert("w", mask(&[1.0, 0.0, 1.0, 0.0]));
+        b.insert("only_b", mask(&[0.0, 1.0]));
+        let c = a.intersect(&b);
+        assert_eq!(c.get("w").unwrap().as_slice(), &[1.0, 0.0, 0.0, 0.0]);
+        assert!(c.get("only_b").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_set_reports_zero_sparsity() {
+        assert_eq!(MaskSet::new().overall_sparsity(), 0.0);
+        assert!(MaskSet::new().is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let set: MaskSet = vec![("x".to_string(), mask(&[1.0]))].into_iter().collect();
+        assert_eq!(set.names(), vec!["x"]);
+    }
+}

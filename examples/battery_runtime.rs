@@ -1,0 +1,132 @@
+//! Battery-runtime scenario: simulate a battery-powered device running
+//! Transformer inference continuously ("dancing along the battery"),
+//! comparing no reconfiguration, DVFS only, and DVFS + RT3 software
+//! reconfiguration — the paper's Table II story as a runnable program.
+//!
+//! Run with `cargo run --example battery_runtime`.
+
+use rt3::core::{Rt3Config, SurrogateEvaluator, TaskProfile};
+use rt3::core::{run_level1, AccuracyEvaluator, PruningSpec};
+use rt3::hardware::{
+    number_of_runs, simulate_battery_lifetime, simulate_fixed_level, ExecutionProfile,
+    ModelWorkload, PerformancePredictor, PowerModel,
+};
+use rt3::sparse::SparseFormat;
+use rt3::transformer::{TransformerConfig, TransformerLm};
+
+fn main() {
+    let mut config = Rt3Config::wikitext_default();
+    config.timing_constraint_ms = 115.0;
+    config.energy_budget_j = 50_000.0;
+    let predictor = PerformancePredictor::cortex_a7();
+    let power = PowerModel::cortex_a7();
+    let governor = &config.governor;
+    let top = *governor.levels().last().expect("levels");
+
+    // Level-1 pruned model M1: just meets the deadline at the top level.
+    let model = TransformerLm::new(TransformerConfig::paper_transformer(512), 7);
+    let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+    let backbone = run_level1(&model, &config, &mut evaluator);
+    let base_sparsity = backbone.sparsity.max(0.55);
+    let latency = |s: f64, level| {
+        let w = ModelWorkload::from_config(
+            &config.workload_config,
+            s,
+            config.seq_len,
+            SparseFormat::BlockPruned,
+        );
+        predictor.latency_ms(&w, level)
+    };
+
+    println!("timing constraint: {} ms", config.timing_constraint_ms);
+    println!(
+        "M1 (sparsity {:.0}%): latency at l6 = {:.1} ms",
+        100.0 * base_sparsity,
+        latency(base_sparsity, &top)
+    );
+
+    // E1: no reconfiguration.
+    let e1 = simulate_fixed_level(
+        &top,
+        config.energy_budget_j,
+        ExecutionProfile {
+            latency_ms: latency(base_sparsity, &top),
+            power_w: power.power_w(&top),
+        },
+        config.timing_constraint_ms,
+    );
+
+    // E2: DVFS only (same model everywhere).
+    let e2_profiles: Vec<ExecutionProfile> = governor
+        .levels()
+        .iter()
+        .map(|l| ExecutionProfile {
+            latency_ms: latency(base_sparsity, l),
+            power_w: power.power_w(l),
+        })
+        .collect();
+    let e2 = simulate_battery_lifetime(
+        governor,
+        config.energy_budget_j,
+        &e2_profiles,
+        config.timing_constraint_ms,
+    );
+
+    // E3: DVFS + per-level sparsity chosen so every level meets the deadline.
+    let per_level_sparsity = [0.87, 0.74, base_sparsity];
+    let e3_profiles: Vec<ExecutionProfile> = governor
+        .levels()
+        .iter()
+        .zip(per_level_sparsity)
+        .map(|(l, s)| ExecutionProfile {
+            latency_ms: latency(s, l),
+            power_w: power.power_w(l),
+        })
+        .collect();
+    let e3 = simulate_battery_lifetime(
+        governor,
+        config.energy_budget_j,
+        &e3_profiles,
+        config.timing_constraint_ms,
+    );
+
+    println!();
+    println!("approach   runs        deadline-met   improvement");
+    for (name, report) in [("E1", &e1), ("E2", &e2), ("E3", &e3)] {
+        println!(
+            "{:<10} {:<11} {:<14} {:.2}x",
+            name,
+            report.runs,
+            report.constraint_satisfied,
+            report.runs as f64 / e1.runs as f64
+        );
+    }
+
+    // accuracy paid by E3's sparser low-frequency models
+    println!();
+    println!("accuracy per E3 sub-model (surrogate):");
+    for (level, s) in governor.levels().iter().zip(per_level_sparsity) {
+        let acc = evaluator.evaluate(
+            &rt3::transformer::MaskSet::new(),
+            &PruningSpec {
+                sparsity: s,
+                level1_guided: true,
+                level2: Some(true),
+            },
+        );
+        println!(
+            "  l{} ({} MHz): sparsity {:.0}% -> accuracy {:.2}%, energy/inference {:.3} J",
+            level.index,
+            level.frequency_mhz,
+            100.0 * s,
+            100.0 * acc,
+            power.energy_per_inference_j(level, latency(s, level))
+        );
+    }
+    let energy_best = power.energy_per_inference_j(&top, latency(base_sparsity, &top));
+    println!(
+        "\nfor reference, a full battery ({} J) would fit {} F-mode inferences",
+        config.energy_budget_j,
+        number_of_runs(config.energy_budget_j, energy_best)
+    );
+}

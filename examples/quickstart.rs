@@ -1,0 +1,78 @@
+//! Quickstart: prune a Transformer with RT3's two levels and deploy it with
+//! run-time reconfiguration — the whole pipeline on a laptop-sized model.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rt3::core::{
+    build_search_space, run_level1, run_level2_search, Rt3Config, SurrogateEvaluator, TaskProfile,
+};
+use rt3::hardware::{DvfsMode, MemoryModel};
+use rt3::transformer::{Model, TransformerConfig, TransformerLm};
+
+fn main() {
+    // 1. A Transformer language model with the paper's 2-encoder/1-decoder
+    //    layout (reduced width so it runs anywhere).
+    let model = TransformerLm::new(TransformerConfig::paper_transformer(512), 42);
+    println!(
+        "model: {} parameters, {} prunable weight matrices",
+        model.num_parameters(),
+        model.prunable_parameter_names().len()
+    );
+
+    // 2. Configure RT3: timing constraint, energy budget, V/F levels.
+    let mut config = Rt3Config::wikitext_default();
+    config.episodes = 25;
+    let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+
+    // 3. Level 1 — block-structured pruning produces the fixed backbone.
+    let backbone = run_level1(&model, &config, &mut evaluator);
+    println!(
+        "level 1 backbone: sparsity {:.1}%, accuracy {:.2}% (unpruned {:.2}%)",
+        100.0 * backbone.sparsity,
+        100.0 * backbone.accuracy,
+        100.0 * backbone.unpruned_accuracy
+    );
+
+    // 4. Level 2 — generate the pattern search space and run the RL search.
+    let space = build_search_space(&model, &backbone, &config);
+    let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+    let best = outcome.best.expect("a feasible solution exists");
+    println!(
+        "level 2 search: {} episodes explored, best reward {:.3}",
+        outcome.history.len(),
+        best.reward
+    );
+    for (i, ((sparsity, latency), accuracy)) in best
+        .sparsities
+        .iter()
+        .zip(&best.latencies_ms)
+        .zip(&best.accuracies)
+        .enumerate()
+    {
+        println!(
+            "  M{}: sparsity {:.1}%, latency {:.1} ms, accuracy {:.2}%",
+            i + 1,
+            100.0 * sparsity,
+            latency,
+            100.0 * accuracy
+        );
+    }
+
+    // 5. Run time: the governor maps battery level to a DVFS mode; switching
+    //    the pattern set costs milliseconds.
+    let memory = MemoryModel::odroid_xu3();
+    let switch = memory.pattern_switch_cost(&space.candidates()[0].set, 5_000);
+    for soc in [0.9, 0.4, 0.1] {
+        let mode = config.governor.mode_for_battery(soc);
+        let level = config.governor.level_for_mode(mode);
+        println!(
+            "battery {:>3.0}% -> {} at l{} ({} MHz); pattern-set switch costs {:.2} ms",
+            soc * 100.0,
+            mode,
+            level.index,
+            level.frequency_mhz,
+            switch.time_ms
+        );
+    }
+    let _ = DvfsMode::Fast;
+}

@@ -1,0 +1,42 @@
+//! # rt3
+//!
+//! Facade crate of the RT3 reproduction ("Dancing along Battery: Enabling
+//! Transformer with Run-time Reconfigurability on Mobile Devices", DAC
+//! 2021). It re-exports the public API of every subsystem so applications
+//! can depend on a single crate:
+//!
+//! * [`tensor`] — matrices, autograd and optimizers;
+//! * [`sparse`] — COO/CSR/block/pattern sparse formats and storage reports;
+//! * [`data`] — synthetic WikiText-like and GLUE-like datasets and metrics;
+//! * [`transformer`] — the Transformer LM and DistilBERT-style classifier;
+//! * [`pruning`] — block-structured pruning and pattern-space generation;
+//! * [`hardware`] — DVFS, power/battery, latency prediction, reconfiguration;
+//! * [`rl`] — the RNN policy controller;
+//! * [`core`] — the two-level RT3 framework, baselines and experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use rt3::core::{run_level1, Rt3Config, SurrogateEvaluator, TaskProfile};
+//! use rt3::transformer::{TransformerConfig, TransformerLm};
+//!
+//! let model = TransformerLm::new(TransformerConfig::tiny(32), 0);
+//! let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+//! let backbone = run_level1(&model, &Rt3Config::tiny_test(), &mut evaluator);
+//! assert!(backbone.sparsity > 0.0);
+//! ```
+//!
+//! Runnable end-to-end examples live in `examples/` (`quickstart`,
+//! `battery_runtime`, `automl_search`, `ablation_study`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rt3_core as core;
+pub use rt3_data as data;
+pub use rt3_hardware as hardware;
+pub use rt3_pruning as pruning;
+pub use rt3_rl as rl;
+pub use rt3_sparse as sparse;
+pub use rt3_tensor as tensor;
+pub use rt3_transformer as transformer;

@@ -1,0 +1,105 @@
+//! Property-based integration tests over the pruning → hardware pipeline:
+//! invariants that must hold for any block size, sparsity target or pattern
+//! configuration.
+
+use proptest::prelude::*;
+use rt3::core::{compute_reward, RewardParams, TaskProfile};
+use rt3::core::PruningSpec;
+use rt3::hardware::{number_of_runs, ModelWorkload, PerformancePredictor, PowerModel, VfLevel};
+use rt3::pruning::{block_prune_matrix, BlockPruningConfig, PruneCriterion};
+use rt3::sparse::SparseFormat;
+use rt3::tensor::Matrix;
+use rt3::transformer::TransformerConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Algorithm 1 with a `Fraction(f)` criterion prunes at most f of each
+    /// block's columns and never a kept column's worth more.
+    #[test]
+    fn block_pruning_sparsity_tracks_the_requested_fraction(
+        rows in 4usize..24,
+        cols in 4usize..24,
+        blocks in 1usize..4,
+        fraction in 0.0f64..0.9,
+    ) {
+        let m = Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17) % 13) as f32 + 0.5);
+        let cfg = BlockPruningConfig {
+            num_blocks: blocks.min(rows),
+            criterion: PruneCriterion::Fraction(fraction),
+        };
+        let mask = block_prune_matrix(&m, &cfg);
+        let expected = ((cols as f64) * fraction).floor() / cols as f64;
+        prop_assert!((mask.sparsity() - expected).abs() < 1e-6,
+            "sparsity {} vs expected {}", mask.sparsity(), expected);
+    }
+
+    /// The latency predictor is monotone: more sparsity never means more
+    /// latency, and a higher frequency never means more latency.
+    #[test]
+    fn latency_is_monotone_in_sparsity_and_frequency(
+        s1 in 0.0f64..0.95,
+        s2 in 0.0f64..0.95,
+        level_a in 1usize..=6,
+        level_b in 1usize..=6,
+    ) {
+        let config = TransformerConfig::distilbert_full(30522);
+        let predictor = PerformancePredictor::cortex_a7();
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        let level = VfLevel::odroid_level(level_a);
+        let w_lo = ModelWorkload::from_config(&config, lo, 32, SparseFormat::BlockPruned);
+        let w_hi = ModelWorkload::from_config(&config, hi, 32, SparseFormat::BlockPruned);
+        prop_assert!(predictor.latency_ms(&w_hi, &level) <= predictor.latency_ms(&w_lo, &level) + 1e-9);
+        let (slow, fast) = if level_a < level_b { (level_a, level_b) } else { (level_b, level_a) };
+        let w = ModelWorkload::from_config(&config, lo, 32, SparseFormat::BlockPruned);
+        prop_assert!(
+            predictor.latency_ms(&w, &VfLevel::odroid_level(fast))
+                <= predictor.latency_ms(&w, &VfLevel::odroid_level(slow)) + 1e-9
+        );
+    }
+
+    /// Number of runs grows with the energy budget and shrinks with latency.
+    #[test]
+    fn number_of_runs_is_monotone(budget in 1.0f64..10_000.0, latency in 1.0f64..500.0) {
+        let power = PowerModel::cortex_a7();
+        let level = VfLevel::odroid_level(4);
+        let e = power.energy_per_inference_j(&level, latency);
+        let runs = number_of_runs(budget, e);
+        let runs_more_budget = number_of_runs(budget * 2.0, e);
+        let runs_more_latency = number_of_runs(budget, power.energy_per_inference_j(&level, latency * 2.0));
+        prop_assert!(runs_more_budget >= runs);
+        prop_assert!(runs_more_latency <= runs);
+    }
+
+    /// The surrogate accuracy model is monotone in sparsity and never rewards
+    /// random pruning over guided pruning.
+    #[test]
+    fn surrogate_profiles_are_monotone_and_prefer_guided(
+        s1 in 0.0f64..0.95,
+        s2 in 0.0f64..0.95,
+    ) {
+        let (lo, hi) = if s1 < s2 { (s1, s2) } else { (s2, s1) };
+        for profile in [TaskProfile::wikitext2(), TaskProfile::rte(), TaskProfile::stsb()] {
+            let guided_lo = profile.score(&PruningSpec { sparsity: lo, level1_guided: true, level2: Some(true) });
+            let guided_hi = profile.score(&PruningSpec { sparsity: hi, level1_guided: true, level2: Some(true) });
+            let random_hi = profile.score(&PruningSpec { sparsity: hi, level1_guided: false, level2: Some(false) });
+            prop_assert!(guided_hi <= guided_lo + 1e-12);
+            prop_assert!(random_hi <= guided_hi + 1e-12);
+        }
+    }
+
+    /// Eq. (1): meeting every deadline always rewards at least as much as
+    /// missing one, for the same accuracies and runs term.
+    #[test]
+    fn reward_never_prefers_a_deadline_miss(
+        acc in 0.81f64..0.99,
+        runs_term in 0.0f64..1.0,
+        constraint in 50.0f64..200.0,
+    ) {
+        let params = RewardParams::uniform(2, 0.8, 0.3);
+        let accs = [acc, acc - 0.01];
+        let hit = compute_reward(&params, 0.99, &accs, &[constraint - 1.0, constraint - 2.0], runs_term, constraint);
+        let miss = compute_reward(&params, 0.99, &accs, &[constraint + 1.0, constraint - 2.0], runs_term, constraint);
+        prop_assert!(hit.reward >= miss.reward);
+    }
+}
