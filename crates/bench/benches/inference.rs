@@ -26,8 +26,7 @@ fn bench_inference(c: &mut Criterion) {
             VfLevel::odroid_xu3_a7()
                 .iter()
                 .map(|l| {
-                    let w =
-                        ModelWorkload::from_config(&config, 0.6, 64, SparseFormat::BlockPruned);
+                    let w = ModelWorkload::from_config(&config, 0.6, 64, SparseFormat::BlockPruned);
                     predictor.latency_ms(&w, l)
                 })
                 .sum::<f64>()

@@ -3,8 +3,8 @@
 //! surrogate evaluator.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rt3_core::{build_search_space, run_level1, Rt3Config, SurrogateEvaluator, TaskProfile};
 use rt3_core::evaluate_assignment;
+use rt3_core::{build_search_space, run_level1, Rt3Config, SurrogateEvaluator, TaskProfile};
 use rt3_rl::{Controller, ControllerConfig};
 use rt3_transformer::{TransformerConfig, TransformerLm};
 

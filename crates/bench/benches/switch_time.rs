@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rt3_core::switch_time_comparison;
-use rt3_pruning::{combined_masks_for_model, generate_pattern_space, PatternSpaceConfig};
 use rt3_pruning::{block_prune_model, BlockPruningConfig};
+use rt3_pruning::{combined_masks_for_model, generate_pattern_space, PatternSpaceConfig};
 use rt3_transformer::{Model, TransformerConfig, TransformerLm};
 
 fn bench_switch(c: &mut Criterion) {

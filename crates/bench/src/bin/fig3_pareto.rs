@@ -35,7 +35,9 @@ fn describe_front(label: &str, outcome: &SearchOutcome) {
 }
 
 fn main() {
-    print_header("Fig. 3: search-space exploration under loose (104 ms) and tight (94 ms) constraints");
+    print_header(
+        "Fig. 3: search-space exploration under loose (104 ms) and tight (94 ms) constraints",
+    );
     let model = setup::live_model();
     let profile = TaskProfile::wikitext2();
 
@@ -68,7 +70,10 @@ fn main() {
         println!();
         println!("--- Best solution {label} ---");
         let mut evaluator = SurrogateEvaluator::new(profile);
-        println!("original (no compression) accuracy : {}", pct(profile.base_score));
+        println!(
+            "original (no compression) accuracy : {}",
+            pct(profile.base_score)
+        );
         println!(
             "block-pruning backbone accuracy    : {} at sparsity {}",
             pct(backbone.accuracy),

@@ -23,7 +23,11 @@ fn main() {
             "{:<10} {:>14} {:>12} {:>11.2}x {:>10}",
             row.approach,
             runs_millions(row.report.runs as f64),
-            if row.report.constraint_satisfied { "yes" } else { "NO" },
+            if row.report.constraint_satisfied {
+                "yes"
+            } else {
+                "NO"
+            },
             row.improvement,
             row.report.switches,
         );

@@ -60,13 +60,13 @@ fn main() {
         let space = build_search_space(&model, &backbone, &exp.config);
         let outcome = run_level2_search(&model, &backbone, &space, &exp.config, &mut evaluator);
         let Some(best) = outcome.best else {
-            println!("no feasible solution under T = {} ms", exp.config.timing_constraint_ms);
+            println!(
+                "no feasible solution under T = {} ms",
+                exp.config.timing_constraint_ms
+            );
             continue;
         };
-        println!(
-            "{:<14} {:>10} {:>10} {:>10}",
-            "", "M1", "M2", "M3"
-        );
+        println!("{:<14} {:>10} {:>10} {:>10}", "", "M1", "M2", "M3");
         let row = |name: &str, values: Vec<String>| {
             print!("{:<14}", name);
             for v in values {
@@ -74,10 +74,16 @@ fn main() {
             }
             println!();
         };
-        row("Sparsity", best.sparsities.iter().map(|s| pct(*s)).collect());
+        row(
+            "Sparsity",
+            best.sparsities.iter().map(|s| pct(*s)).collect(),
+        );
         row(
             "Latency (ms)",
-            best.latencies_ms.iter().map(|l| format!("{:.2}", l)).collect(),
+            best.latencies_ms
+                .iter()
+                .map(|l| format!("{:.2}", l))
+                .collect(),
         );
         // upper bound: individually tuned models recover a bit more accuracy
         // than the jointly trained shared backbone; the surrogate models this
@@ -112,8 +118,7 @@ fn main() {
         );
         println!(
             "Constraint T = {} ms satisfied by every sub-model: {}",
-            exp.config.timing_constraint_ms,
-            best.meets_constraint
+            exp.config.timing_constraint_ms, best.meets_constraint
         );
         println!(
             "Explored {} solutions, {} on the Pareto frontier, backbone sparsity {}",

@@ -10,9 +10,17 @@ fn main() {
     print_header("Table IV: ablation of block-structured pruning and pattern pruning");
     let model = setup::live_model();
     let tasks = vec![
-        ("WikiText-2", setup::wikitext_config(104.0), TaskProfile::wikitext2()),
+        (
+            "WikiText-2",
+            setup::wikitext_config(104.0),
+            TaskProfile::wikitext2(),
+        ),
         ("RTE", setup::distilbert_config(200.0), TaskProfile::rte()),
-        ("STS-B", setup::distilbert_config(330.0), TaskProfile::stsb()),
+        (
+            "STS-B",
+            setup::distilbert_config(330.0),
+            TaskProfile::stsb(),
+        ),
     ];
     for (name, config, profile) in tasks {
         println!();

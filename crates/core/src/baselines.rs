@@ -239,9 +239,9 @@ pub fn run_ablation<M: Model>(
     });
 
     let push_row = |variant: AblationVariant,
-                        sparsities: Vec<f64>,
-                        accuracies: Vec<f64>,
-                        rows: &mut Vec<AblationRow>| {
+                    sparsities: Vec<f64>,
+                    accuracies: Vec<f64>,
+                    rows: &mut Vec<AblationRow>| {
         let avg_sparsity = sparsities.iter().sum::<f64>() / sparsities.len() as f64;
         let avg_accuracy = accuracies.iter().sum::<f64>() / accuracies.len() as f64;
         let runs = runs_for(&sparsities);
@@ -249,7 +249,11 @@ pub fn run_ablation<M: Model>(
             variant,
             average_sparsity: avg_sparsity,
             number_of_runs: runs,
-            improvement: if no_opt_runs > 0.0 { runs / no_opt_runs } else { 0.0 },
+            improvement: if no_opt_runs > 0.0 {
+                runs / no_opt_runs
+            } else {
+                0.0
+            },
             average_accuracy: avg_accuracy,
             accuracy_loss: unpruned - avg_accuracy,
         });
@@ -283,8 +287,7 @@ pub fn run_ablation<M: Model>(
                     &mut rng,
                 )
             };
-            let masks =
-                combined_masks_for_model(model, &random_backbone.masks, &prunable, &set);
+            let masks = combined_masks_for_model(model, &random_backbone.masks, &prunable, &set);
             let sparsity = masks.overall_sparsity();
             let spec = PruningSpec {
                 sparsity,
@@ -503,12 +506,18 @@ mod tests {
         let e2 = &rows[1];
         let e3 = &rows[2];
         assert!(e1.report.constraint_satisfied);
-        assert!(e2.report.runs > e1.report.runs, "E2 must extend battery life");
+        assert!(
+            e2.report.runs > e1.report.runs,
+            "E2 must extend battery life"
+        );
         assert!(
             !e2.report.constraint_satisfied,
             "E2 must violate the deadline at low frequency"
         );
-        assert!(e3.report.constraint_satisfied, "E3 must meet every deadline");
+        assert!(
+            e3.report.constraint_satisfied,
+            "E3 must meet every deadline"
+        );
         assert!(e3.report.runs > e2.report.runs);
         assert!(e3.improvement > 1.5);
     }
@@ -553,8 +562,7 @@ mod tests {
         let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
         let backbone = run_level1(&model, &config, &mut evaluator);
         let space = build_search_space(&model, &backbone, &config);
-        let heuristic =
-            run_heuristic_baseline(&model, &backbone, &space, &config, &mut evaluator);
+        let heuristic = run_heuristic_baseline(&model, &backbone, &space, &config, &mut evaluator);
         assert!(heuristic.meets_constraint);
         let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
         let best = outcome.best.expect("search should find a feasible point");

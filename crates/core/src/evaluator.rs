@@ -317,7 +317,11 @@ mod tests {
 
     #[test]
     fn random_pruning_loses_more_than_guided_pruning() {
-        for profile in [TaskProfile::wikitext2(), TaskProfile::rte(), TaskProfile::stsb()] {
+        for profile in [
+            TaskProfile::wikitext2(),
+            TaskProfile::rte(),
+            TaskProfile::stsb(),
+        ] {
             let guided = profile.score(&PruningSpec {
                 sparsity: 0.5,
                 level1_guided: true,

@@ -98,11 +98,8 @@ pub fn joint_train_lm(
                 }
                 grads.push(grad.expect("at least one binding"));
             }
-            for (slot, ((name, param), grad)) in model
-                .parameters_mut()
-                .into_iter()
-                .zip(grads.into_iter())
-                .enumerate()
+            for (slot, ((name, param), grad)) in
+                model.parameters_mut().into_iter().zip(grads).enumerate()
             {
                 debug_assert_eq!(&name, &names[slot]);
                 optimizer.step(slot, param, &grad);

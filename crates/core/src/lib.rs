@@ -52,7 +52,7 @@ pub use baselines::{
     run_motivation_experiment, switch_time_comparison, AblationRow, AblationVariant,
     BpEvaluationRow, MotivationRow, SwitchComparison,
 };
-pub use config::{Rt3Config, RewardParams};
+pub use config::{RewardParams, Rt3Config};
 pub use evaluator::{
     AccuracyEvaluator, PruningSpec, SurrogateEvaluator, TaskProfile, TrainedClassifierEvaluator,
     TrainedLmEvaluator,
@@ -62,6 +62,5 @@ pub use pareto::{frontier_covers, pareto_front_indices, ObjectivePair, ParetoPoi
 pub use reward::{compute_reward, RewardBreakdown, RewardCase};
 pub use search::{
     build_search_space, candidate_sparsities, constraint_guided_sparsities, evaluate_assignment,
-    run_level1, run_level1_random,
-    run_level2_search, BackboneResult, SearchOutcome, SolutionPoint,
+    run_level1, run_level1_random, run_level2_search, BackboneResult, SearchOutcome, SolutionPoint,
 };

@@ -162,7 +162,14 @@ mod tests {
 
     #[test]
     fn runs_term_is_clamped_to_unit_interval() {
-        let b = compute_reward(&params(), 0.97, &[0.9, 0.9, 0.9], &[10.0, 10.0, 10.0], 7.0, 100.0);
+        let b = compute_reward(
+            &params(),
+            0.97,
+            &[0.9, 0.9, 0.9],
+            &[10.0, 10.0, 10.0],
+            7.0,
+            100.0,
+        );
         assert!(b.runs_term <= 1.0);
     }
 }

@@ -146,7 +146,10 @@ pub struct SearchOutcome {
 impl SearchOutcome {
     /// The Pareto-optimal solutions themselves.
     pub fn pareto_front(&self) -> Vec<&SolutionPoint> {
-        self.pareto_indices.iter().map(|&i| &self.history[i]).collect()
+        self.pareto_indices
+            .iter()
+            .map(|&i| &self.history[i])
+            .collect()
     }
 }
 
@@ -175,8 +178,7 @@ fn evaluate_solution<M: Model, E: AccuracyEvaluator>(
     let budget_per_level = config.energy_budget_j / actions.len() as f64;
     for (slot, (&action, level)) in actions.iter().zip(levels.iter()).enumerate() {
         let candidate = &space.candidates()[action];
-        let masks =
-            combined_masks_for_model(model, &backbone.masks, &prunable, &candidate.set);
+        let masks = combined_masks_for_model(model, &backbone.masks, &prunable, &candidate.set);
         let sparsity = masks.overall_sparsity();
         let workload = ModelWorkload::from_config(
             &config.workload_config,
@@ -488,7 +490,10 @@ mod tests {
         let space = build_search_space(&model, &backbone, &config);
         let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
         assert_eq!(outcome.history.len(), config.episodes + 1);
-        let best = outcome.best.clone().expect("a feasible solution should exist");
+        let best = outcome
+            .best
+            .clone()
+            .expect("a feasible solution should exist");
         assert!(best.meets_constraint);
         assert_eq!(best.accuracies.len(), config.num_levels());
         assert!(!outcome.pareto_indices.is_empty());

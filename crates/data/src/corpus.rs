@@ -79,7 +79,10 @@ impl MarkovCorpus {
     ///
     /// Panics if `vocab_size < 2` or `branching == 0`.
     pub fn generate(config: &CorpusConfig) -> Self {
-        assert!(config.vocab_size >= 2, "vocabulary must have at least 2 tokens");
+        assert!(
+            config.vocab_size >= 2,
+            "vocabulary must have at least 2 tokens"
+        );
         assert!(config.branching > 0, "branching must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         // Build a sparse, skewed transition table: each token can be followed
@@ -207,7 +210,7 @@ pub fn lm_batches(stream: &[usize], seq_len: usize, batch_size: usize) -> Vec<Lm
     assert!(batch_size > 0, "batch size must be positive");
     let mut sequences = Vec::new();
     let mut start = 0;
-    while start + seq_len + 1 <= stream.len() {
+    while start + seq_len < stream.len() {
         let input = stream[start..start + seq_len].to_vec();
         let target = stream[start + 1..start + seq_len + 1].to_vec();
         sequences.push((input, target));
@@ -270,10 +273,7 @@ mod tests {
                 .unwrap_or(0)
         };
         let valid = corpus.valid();
-        let correct = valid
-            .windows(2)
-            .filter(|w| predict(w[0]) == w[1])
-            .count();
+        let correct = valid.windows(2).filter(|w| predict(w[0]) == w[1]).count();
         let bigram_acc = correct as f64 / (valid.len() - 1) as f64;
         let unigram_acc = corpus.unigram_baseline_accuracy();
         assert!(

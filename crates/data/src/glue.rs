@@ -447,10 +447,7 @@ mod tests {
     #[test]
     fn pair_tasks_contain_separator() {
         let ds = TaskDataset::generate(GlueTask::Rte, &TaskConfig::tiny());
-        assert!(ds
-            .train()
-            .iter()
-            .all(|e| e.tokens.contains(&SEP_TOKEN)));
+        assert!(ds.train().iter().all(|e| e.tokens.contains(&SEP_TOKEN)));
     }
 
     #[test]

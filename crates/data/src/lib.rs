@@ -35,6 +35,5 @@ mod metrics;
 pub use corpus::{lm_batches, CorpusConfig, LmBatch, MarkovCorpus};
 pub use glue::{Example, GlueTask, Label, TaskConfig, TaskDataset, SEP_TOKEN};
 pub use metrics::{
-    accuracy, f1_score, matthews_correlation, pearson_correlation, spearman_correlation,
-    MetricKind,
+    accuracy, f1_score, matthews_correlation, pearson_correlation, spearman_correlation, MetricKind,
 };

@@ -97,10 +97,10 @@ pub fn f1_score(predictions: &[usize], labels: &[usize]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn matthews_correlation(predictions: &[usize], labels: &[usize]) -> f64 {
     assert_eq!(predictions.len(), labels.len(), "length mismatch");
-    let mut tp = 0.0;
-    let mut tn = 0.0;
-    let mut fp = 0.0;
-    let mut fn_ = 0.0;
+    let mut tp = 0.0f64;
+    let mut tn = 0.0f64;
+    let mut fp = 0.0f64;
+    let mut fn_ = 0.0f64;
     for (&p, &l) in predictions.iter().zip(labels) {
         match (p, l) {
             (1, 1) => tp += 1.0,
@@ -110,7 +110,7 @@ pub fn matthews_correlation(predictions: &[usize], labels: &[usize]) -> f64 {
             _ => {}
         }
     }
-    let denom = ((tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_)) as f64;
+    let denom = (tp + fp) * (tp + fn_) * (tn + fp) * (tn + fn_);
     if denom == 0.0 {
         return 0.0;
     }

@@ -146,7 +146,13 @@ impl ModelWorkload {
         for i in 0..config.num_decoder_layers {
             for w in ["wq", "wk", "wv", "wo"] {
                 push(format!("decoder.{i}.self_attn.{w}"), h, h, sparsity, format);
-                push(format!("decoder.{i}.cross_attn.{w}"), h, h, sparsity, format);
+                push(
+                    format!("decoder.{i}.cross_attn.{w}"),
+                    h,
+                    h,
+                    sparsity,
+                    format,
+                );
             }
             push(format!("decoder.{i}.ffn.w1"), h, f, sparsity, format);
             push(format!("decoder.{i}.ffn.w2"), f, h, sparsity, format);
@@ -374,7 +380,13 @@ mod tests {
         let coo = layer(SparseFormat::Coo).weight_bytes();
         let block = layer(SparseFormat::BlockPruned).weight_bytes();
         let dense = layer(SparseFormat::Dense).weight_bytes();
-        assert!(coo > dense, "COO at 50% sparsity costs more bytes than dense");
-        assert!(block < dense, "block-pruned storage should be smaller than dense");
+        assert!(
+            coo > dense,
+            "COO at 50% sparsity costs more bytes than dense"
+        );
+        assert!(
+            block < dense,
+            "block-pruned storage should be smaller than dense"
+        );
     }
 }

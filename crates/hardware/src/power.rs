@@ -115,6 +115,20 @@ impl Battery {
         self.remaining_j -= energy_j;
         true
     }
+
+    /// Adds `energy_j` of charge, saturating at the battery's capacity.
+    /// Used by the runtime's charge-while-serving scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_j` is negative or not finite.
+    pub fn charge(&mut self, energy_j: f64) {
+        assert!(
+            energy_j.is_finite() && energy_j >= 0.0,
+            "charge energy must be non-negative"
+        );
+        self.remaining_j = (self.remaining_j + energy_j).min(self.capacity_j);
+    }
 }
 
 #[cfg(test)]
@@ -131,8 +145,8 @@ mod tests {
         }
         // l6 vs l1: frequency grows 3.5x but power grows faster because the
         // voltage also rises (the whole point of DVFS energy saving)
-        let energy_ratio_same_work = (powers[5] / levels[5].frequency_mhz)
-            / (powers[0] / levels[0].frequency_mhz);
+        let energy_ratio_same_work =
+            (powers[5] / levels[5].frequency_mhz) / (powers[0] / levels[0].frequency_mhz);
         assert!(
             energy_ratio_same_work > 1.2,
             "per-cycle energy at l6 should exceed l1, got ratio {:.2}",
@@ -175,5 +189,16 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn battery_rejects_non_positive_capacity() {
         let _ = Battery::new(0.0);
+    }
+
+    #[test]
+    fn battery_charges_and_saturates_at_capacity() {
+        let mut b = Battery::new(10.0);
+        assert!(b.drain(8.0));
+        b.charge(5.0);
+        assert!((b.remaining_j() - 7.0).abs() < 1e-9);
+        b.charge(100.0);
+        assert!((b.remaining_j() - 10.0).abs() < 1e-9);
+        assert!((b.state_of_charge() - 1.0).abs() < 1e-9);
     }
 }

@@ -179,7 +179,12 @@ pub fn simulate_fixed_level(
     timing_constraint_ms: f64,
 ) -> SimulationReport {
     let governor = DvfsGovernor::new(vec![*level], 0.66, 0.33);
-    simulate_battery_lifetime(&governor, battery_capacity_j, &[profile], timing_constraint_ms)
+    simulate_battery_lifetime(
+        &governor,
+        battery_capacity_j,
+        &[profile],
+        timing_constraint_ms,
+    )
 }
 
 #[cfg(test)]
@@ -188,7 +193,10 @@ mod tests {
     use crate::power::PowerModel;
     use rt3_sparse::PatternMask;
 
-    fn profiles_scaled_by_frequency(gov: &DvfsGovernor, base_latency_ms: f64) -> Vec<ExecutionProfile> {
+    fn profiles_scaled_by_frequency(
+        gov: &DvfsGovernor,
+        base_latency_ms: f64,
+    ) -> Vec<ExecutionProfile> {
         // same model at every level: latency scales inversely with frequency
         let power = PowerModel::cortex_a7();
         let top = gov.levels().last().unwrap().frequency_mhz;
@@ -227,7 +235,10 @@ mod tests {
         );
         assert!(e2.runs > e1.runs, "DVFS must extend the number of runs");
         assert!(e1.constraint_satisfied);
-        assert!(!e2.constraint_satisfied, "same model at low V/F must violate the deadline");
+        assert!(
+            !e2.constraint_satisfied,
+            "same model at low V/F must violate the deadline"
+        );
     }
 
     #[test]
@@ -278,7 +289,11 @@ mod tests {
         // 100x100 across the prunable projections
         let switch = memory.pattern_switch_cost(&set, 5_700);
         let reload = memory.full_model_reload_cost(66_000_000 * 4);
-        assert!(switch.time_ms < 60.0, "pattern switch {:.1} ms", switch.time_ms);
+        assert!(
+            switch.time_ms < 60.0,
+            "pattern switch {:.1} ms",
+            switch.time_ms
+        );
         assert!(
             reload.time_ms / switch.time_ms > 1000.0,
             "reload {:.0} ms should be >1000x the pattern switch {:.2} ms",
@@ -291,7 +306,10 @@ mod tests {
     fn simulation_respects_energy_budget_exactly() {
         let gov = DvfsGovernor::paper_default();
         let profiles = vec![
-            ExecutionProfile { latency_ms: 100.0, power_w: 1.0 };
+            ExecutionProfile {
+                latency_ms: 100.0,
+                power_w: 1.0
+            };
             3
         ];
         // 1 J budget, 0.1 J per run -> exactly 10 runs

@@ -87,7 +87,9 @@ impl BlockPruningConfig {
 /// assert_eq!(mask.col(1), vec![0.0, 0.0]);
 /// ```
 pub fn block_prune_matrix(weight: &Matrix, config: &BlockPruningConfig) -> Matrix {
-    config.validate().expect("invalid block pruning configuration");
+    config
+        .validate()
+        .expect("invalid block pruning configuration");
     let blocks = config.num_blocks.min(weight.rows()).max(1);
     let partition = BlockPartition::even(weight.rows(), blocks);
     let mut mask = Matrix::zeros(weight.rows(), weight.cols());
@@ -147,8 +149,7 @@ pub fn random_block_prune_matrix<R: Rng + ?Sized>(
         let prune_count = ((weight.cols() as f64) * prune_fraction).floor() as usize;
         let mut cols: Vec<usize> = (0..weight.cols()).collect();
         cols.shuffle(rng);
-        let pruned: std::collections::HashSet<usize> =
-            cols.into_iter().take(prune_count).collect();
+        let pruned: std::collections::HashSet<usize> = cols.into_iter().take(prune_count).collect();
         for r in start..end {
             for c in 0..weight.cols() {
                 if !pruned.contains(&c) {

@@ -37,6 +37,6 @@ pub use block::{
 };
 pub use pattern_apply::{combined_masks_for_model, effective_sparsity, pattern_masks_for_model};
 pub use pattern_space::{
-    generate_pattern_space, importance_map, random_pattern_set, CandidatePatternSet,
-    PatternSpace, PatternSpaceConfig,
+    generate_pattern_space, importance_map, random_pattern_set, CandidatePatternSet, PatternSpace,
+    PatternSpaceConfig,
 };

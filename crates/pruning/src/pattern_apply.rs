@@ -11,11 +11,7 @@ use rt3_transformer::{MaskSet, Model};
 /// largest l2 norm (the paper's block→pattern assignment rule).
 ///
 /// Parameters not in `names` are left unmasked.
-pub fn pattern_masks_for_model<M: Model>(
-    model: &M,
-    names: &[String],
-    set: &PatternSet,
-) -> MaskSet {
+pub fn pattern_masks_for_model<M: Model>(model: &M, names: &[String], set: &PatternSet) -> MaskSet {
     let mut masks = MaskSet::new();
     for (name, weight) in model.parameters() {
         if !names.contains(&name) {

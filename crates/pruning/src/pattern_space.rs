@@ -187,19 +187,27 @@ pub fn generate_pattern_space<M: Model>(
     config
         .validate()
         .expect("invalid pattern space configuration");
-    assert!(!sparsities.is_empty(), "at least one target sparsity is required");
+    assert!(
+        !sparsities.is_empty(),
+        "at least one target sparsity is required"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sorted: Vec<f64> = sparsities.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // a fresh block sample per pattern gives m distinct but correlated
+    // importance-guided patterns; every target sparsity is carved out of the
+    // SAME m maps, so the patterns of a sparser candidate are subsets of the
+    // denser candidate's patterns and combined sparsity grows monotonically
+    // with the target (which keeps predicted latency monotone as well)
+    let maps: Vec<Matrix> = (0..config.patterns_per_set)
+        .map(|_| importance_map(model, backbone, config, &mut rng))
+        .collect();
     let mut candidates = Vec::with_capacity(sorted.len());
     for &sparsity in &sorted {
-        let mut patterns = Vec::with_capacity(config.patterns_per_set);
-        for _ in 0..config.patterns_per_set {
-            // a fresh block sample per pattern gives m distinct but correlated
-            // importance-guided patterns
-            let importance = importance_map(model, backbone, config, &mut rng);
-            patterns.push(PatternMask::from_importance(&importance, sparsity));
-        }
+        let patterns = maps
+            .iter()
+            .map(|importance| PatternMask::from_importance(importance, sparsity))
+            .collect();
         let set = PatternSet::new(patterns).expect("patterns_per_set is positive");
         candidates.push(CandidatePatternSet { sparsity, set });
     }

@@ -150,11 +150,7 @@ impl Controller {
 
     /// Action probabilities at every step given a fixed action history
     /// (teacher-forced); used both for sampling and for the update.
-    fn rollout_logits(
-        &self,
-        g: &mut Graph,
-        actions: &[Option<usize>],
-    ) -> (Vec<Var>, Vec<Var>) {
+    fn rollout_logits(&self, g: &mut Graph, actions: &[Option<usize>]) -> (Vec<Var>, Vec<Var>) {
         let embed = g.leaf(self.action_embedding.clone());
         let w_in = g.leaf(self.w_in.clone());
         let w_hidden = g.leaf(self.w_hidden.clone());

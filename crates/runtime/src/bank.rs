@@ -1,0 +1,371 @@
+//! The model bank: one pre-materialised sparse model per V/F level.
+//!
+//! Offline, the Level-2 search picks one candidate pattern set per governor
+//! level ([`rt3_core::SearchOutcome`]). Online, switching levels must be a
+//! lightweight pattern-set swap, not a model rebuild — so the bank turns each
+//! chosen pattern set into a [`BankedModel`]: the combined Level-1 ∧ Level-2
+//! masks plus the block-sparse weights ([`PatternPrunedMatrix`]) the workers
+//! execute. Entries build lazily on first use and live in a small LRU cache,
+//! mirroring how a memory-constrained device would page pattern sets in and
+//! out of its working set; the eviction/rebuild traffic is exactly what
+//! [`MemoryModel::pattern_switch_cost`] charges for.
+
+use rt3_hardware::{MemoryModel, SwitchCost};
+use rt3_pruning::{combined_masks_for_model, CandidatePatternSet, PatternSpace};
+use rt3_sparse::{PatternPrunedMatrix, PatternSet};
+use rt3_tensor::Matrix;
+use rt3_transformer::{MaskSet, Model};
+
+/// One ready-to-serve sparse model variant.
+#[derive(Debug, Clone)]
+pub struct BankedModel {
+    /// Governor level position this variant serves (0 = lowest frequency).
+    pub level_pos: usize,
+    /// Target sparsity of the candidate pattern set.
+    pub target_sparsity: f64,
+    /// Combined backbone ∧ pattern masks.
+    pub masks: MaskSet,
+    /// Achieved overall sparsity of the combined masks.
+    pub sparsity: f64,
+    /// Block-sparse prunable weights, in model parameter order.
+    pub weights: Vec<(String, PatternPrunedMatrix)>,
+}
+
+impl BankedModel {
+    /// Runs one real sparse inference batch through every banked weight:
+    /// each pattern-pruned matrix multiplies a deterministic activation
+    /// block with `batch` columns. Returns a checksum of the outputs so the
+    /// work cannot be optimised away and runs can be compared bit-for-bit.
+    pub fn infer(&self, batch: usize) -> f64 {
+        let mut checksum = 0.0f64;
+        for (idx, (_, weight)) in self.weights.iter().enumerate() {
+            let cols = weight.cols();
+            let rhs = Matrix::from_fn(cols, batch.max(1), |i, j| {
+                // cheap deterministic activations, distinct per weight
+                let x = (i * 31 + j * 17 + idx * 7) % 13;
+                x as f32 / 13.0 - 0.5
+            });
+            let out = weight.matmul_dense(&rhs);
+            checksum += out.frobenius_norm() as f64;
+        }
+        checksum
+    }
+
+    /// Number of stored (surviving) weight values across all banked weights.
+    pub fn stored_values(&self) -> usize {
+        self.weights.iter().map(|(_, w)| w.stored_values()).sum()
+    }
+}
+
+/// Cache statistics of a [`ModelBank`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Entries served from cache.
+    pub hits: u64,
+    /// Entries built (cold or after eviction).
+    pub builds: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+/// Pre-materialised per-level model variants with lazy build and LRU
+/// eviction.
+pub struct ModelBank<'m, M: Model> {
+    model: &'m M,
+    backbone: MaskSet,
+    prunable: Vec<String>,
+    /// One chosen candidate per governor level position (0 = lowest
+    /// frequency).
+    assignments: Vec<CandidatePatternSet>,
+    entries: Vec<Option<BankedModel>>,
+    /// Level positions ordered least- to most-recently used.
+    recency: Vec<usize>,
+    capacity: usize,
+    memory: MemoryModel,
+    total_blocks: usize,
+    stats: BankStats,
+}
+
+impl<'m, M: Model> ModelBank<'m, M> {
+    /// Builds a bank over the best solution of a Level-2 search.
+    ///
+    /// `actions` are candidate indices ordered as the paper orders sub-models
+    /// — from the *highest*-frequency level (M1) down — while bank slots are
+    /// governor level positions (0 = lowest frequency), so the assignment is
+    /// reversed here. `capacity` bounds how many variants stay materialised
+    /// at once (a capacity of `actions.len()` keeps everything resident).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is empty, an action indexes outside `space`, or
+    /// `capacity` is zero.
+    pub fn new(
+        model: &'m M,
+        backbone: MaskSet,
+        space: &PatternSpace,
+        actions: &[usize],
+        memory: MemoryModel,
+        capacity: usize,
+    ) -> Self {
+        assert!(
+            !actions.is_empty(),
+            "at least one level assignment is required"
+        );
+        assert!(capacity > 0, "bank capacity must be positive");
+        let assignments: Vec<CandidatePatternSet> = actions
+            .iter()
+            .rev()
+            .map(|&a| {
+                assert!(a < space.len(), "action {a} outside the pattern space");
+                space.candidates()[a].clone()
+            })
+            .collect();
+        let prunable = model.prunable_parameter_names();
+        let psize = space.pattern_size();
+        let total_blocks = model
+            .parameters()
+            .iter()
+            .filter(|(name, _)| prunable.contains(name))
+            .map(|(_, w)| w.rows().div_ceil(psize) * w.cols().div_ceil(psize))
+            .sum();
+        let levels = assignments.len();
+        Self {
+            model,
+            backbone,
+            prunable,
+            assignments,
+            entries: (0..levels).map(|_| None).collect(),
+            recency: Vec::with_capacity(levels),
+            capacity,
+            memory,
+            total_blocks,
+            stats: BankStats::default(),
+        }
+    }
+
+    /// Number of governor levels the bank serves.
+    pub fn levels(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The candidate pattern set assigned to a level position.
+    pub fn pattern_set(&self, level_pos: usize) -> &PatternSet {
+        &self.assignments[level_pos].set
+    }
+
+    /// Target sparsity assigned to a level position.
+    pub fn target_sparsity(&self, level_pos: usize) -> f64 {
+        self.assignments[level_pos].sparsity
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// Total `psize × psize` blocks across the prunable weights (the unit of
+    /// the switch-cost model).
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Cost of swapping the pattern set of `level_pos` into the working set.
+    pub fn switch_cost(&self, level_pos: usize) -> SwitchCost {
+        self.memory
+            .pattern_switch_cost(&self.assignments[level_pos].set, self.total_blocks)
+    }
+
+    /// Builds the variant for a level from scratch, bypassing the cache.
+    /// Deterministic: two cold rebuilds produce bit-identical masks and
+    /// weights (the invariant the bank's caching relies on).
+    pub fn rebuild_cold(&self, level_pos: usize) -> BankedModel {
+        let candidate = &self.assignments[level_pos];
+        let masks =
+            combined_masks_for_model(self.model, &self.backbone, &self.prunable, &candidate.set);
+        let weights = self
+            .model
+            .parameters()
+            .into_iter()
+            .filter(|(name, _)| self.prunable.contains(name))
+            .map(|(name, weight)| {
+                // pattern assignment happens on the backbone-masked weight,
+                // exactly as the offline search evaluated it
+                let effective = match self.backbone.get(&name) {
+                    Some(mask) => weight.zip(mask, |w, m| w * m),
+                    None => weight.clone(),
+                };
+                (
+                    name,
+                    PatternPrunedMatrix::from_dense(&effective, &candidate.set),
+                )
+            })
+            .collect();
+        let sparsity = masks.overall_sparsity();
+        BankedModel {
+            level_pos,
+            target_sparsity: candidate.sparsity,
+            masks,
+            sparsity,
+            weights,
+        }
+    }
+
+    /// The variant for `level_pos`, building it on a cache miss and evicting
+    /// the least-recently-used variant when over capacity.
+    pub fn get(&mut self, level_pos: usize) -> &BankedModel {
+        assert!(
+            level_pos < self.entries.len(),
+            "level position out of range"
+        );
+        if self.entries[level_pos].is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.entries[level_pos] = Some(self.rebuild_cold(level_pos));
+            self.stats.builds += 1;
+        }
+        self.touch(level_pos);
+        self.evict_over_capacity(level_pos);
+        self.entries[level_pos]
+            .as_ref()
+            .expect("entry just ensured")
+    }
+
+    /// Whether the variant for `level_pos` is currently materialised.
+    pub fn is_resident(&self, level_pos: usize) -> bool {
+        self.entries[level_pos].is_some()
+    }
+
+    fn touch(&mut self, level_pos: usize) {
+        self.recency.retain(|&p| p != level_pos);
+        self.recency.push(level_pos);
+    }
+
+    fn evict_over_capacity(&mut self, keep: usize) {
+        while self.recency.len() > self.capacity {
+            let victim = self.recency[0];
+            if victim == keep {
+                // capacity of 1 with the active entry first: nothing else to
+                // evict without dropping the entry we are about to return
+                if self.recency.len() == 1 {
+                    break;
+                }
+                self.recency.swap(0, 1);
+                continue;
+            }
+            self.recency.remove(0);
+            self.entries[victim] = None;
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt3_pruning::{
+        block_prune_model, generate_pattern_space, BlockPruningConfig, PatternSpaceConfig,
+    };
+    use rt3_transformer::{TransformerConfig, TransformerLm};
+
+    fn setup() -> (TransformerLm, MaskSet, PatternSpace) {
+        let model = TransformerLm::new(TransformerConfig::tiny(32), 5);
+        let backbone = block_prune_model(&model, &BlockPruningConfig::default());
+        let space = generate_pattern_space(
+            &model,
+            &backbone,
+            &[0.4, 0.6, 0.8],
+            &PatternSpaceConfig {
+                pattern_size: 4,
+                patterns_per_set: 2,
+                sample_fraction: 0.5,
+                seed: 2,
+            },
+        );
+        (model, backbone, space)
+    }
+
+    #[test]
+    fn bank_reverses_action_order_and_builds_lazily() {
+        let (model, backbone, space) = setup();
+        // M1 (highest frequency) gets the densest candidate 0
+        let mut bank = ModelBank::new(
+            &model,
+            backbone,
+            &space,
+            &[0, 1, 2],
+            MemoryModel::odroid_xu3(),
+            3,
+        );
+        assert_eq!(bank.levels(), 3);
+        // slot 0 = lowest frequency = last action = sparsest candidate
+        assert!(bank.target_sparsity(0) > bank.target_sparsity(2));
+        assert_eq!(bank.stats().builds, 0);
+        let sparsity_low = bank.get(0).sparsity;
+        assert_eq!(bank.stats().builds, 1);
+        let sparsity_high = bank.get(2).sparsity;
+        assert!(sparsity_low >= sparsity_high);
+        let _ = bank.get(0);
+        assert_eq!(bank.stats().hits, 1);
+        assert_eq!(bank.stats().builds, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_rebuilds_identically() {
+        let (model, backbone, space) = setup();
+        let mut bank = ModelBank::new(
+            &model,
+            backbone,
+            &space,
+            &[0, 1, 2],
+            MemoryModel::odroid_xu3(),
+            2,
+        );
+        let first = bank.get(0).masks.clone();
+        let _ = bank.get(1);
+        let _ = bank.get(2); // evicts level 0
+        assert_eq!(bank.stats().evictions, 1);
+        assert!(!bank.is_resident(0));
+        assert!(bank.is_resident(1) && bank.is_resident(2));
+        let rebuilt = bank.get(0).masks.clone(); // evicts level 1
+        assert_eq!(
+            first, rebuilt,
+            "rebuild after eviction must be bit-identical"
+        );
+        assert!(!bank.is_resident(1));
+    }
+
+    #[test]
+    fn switch_cost_is_positive_and_grows_with_patterns() {
+        let (model, backbone, space) = setup();
+        let bank = ModelBank::new(
+            &model,
+            backbone,
+            &space,
+            &[0, 1, 2],
+            MemoryModel::odroid_xu3(),
+            3,
+        );
+        assert!(bank.total_blocks() > 0);
+        let cost = bank.switch_cost(0);
+        assert!(cost.time_ms > 0.0 && cost.bytes_moved > 0);
+    }
+
+    #[test]
+    fn banked_inference_is_deterministic_and_nontrivial() {
+        let (model, backbone, space) = setup();
+        let mut bank = ModelBank::new(
+            &model,
+            backbone,
+            &space,
+            &[0, 1, 2],
+            MemoryModel::odroid_xu3(),
+            3,
+        );
+        let banked = bank.get(1);
+        let a = banked.infer(4);
+        let b = banked.infer(4);
+        assert_eq!(a, b, "inference checksum must be deterministic");
+        assert!(a.is_finite() && a != 0.0);
+        assert!(banked.stored_values() > 0);
+    }
+}

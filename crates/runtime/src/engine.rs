@@ -1,0 +1,418 @@
+//! The serving engine: plays a [`Scenario`] against the model bank, the
+//! battery-aware controller and the deadline scheduler, producing a
+//! [`ServeReport`].
+//!
+//! The loop advances in one-second windows of simulated time. At each
+//! boundary it reads telemetry (battery state of charge, thermal cap),
+//! lets the [`RuntimeController`] pick a level, performs the pattern-set
+//! switch when the level changed — charging [`SwitchCost::time_ms`] to the
+//! workers and its memory traffic to the battery — then admits and
+//! dispatches that window's arrivals. Dispatched micro-batches are also
+//! replayed as real sparse inference on the [`crate::pool`] worker pool.
+
+use crate::bank::ModelBank;
+use crate::controller::{HysteresisConfig, RuntimeController, Telemetry};
+use crate::pool;
+use crate::report::{ServeReport, WindowReport};
+use crate::scenario::Scenario;
+use crate::scheduler::{DeadlineScheduler, Request, SchedulerConfig, ServiceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rt3_core::{Rt3Config, SearchOutcome};
+use rt3_hardware::{Battery, MemoryModel, PowerModel};
+use rt3_pruning::PatternSpace;
+use rt3_transformer::Model;
+
+/// How the engine picks V/F levels at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimePolicy {
+    /// Battery-aware reconfiguration: follow the governor with hysteresis
+    /// and switch pattern sets alongside the level (the paper's approach).
+    Adaptive,
+    /// No reconfiguration: stay at one governor level position with its
+    /// banked model for the whole trace (the E1-style baseline).
+    FixedLevel(usize),
+}
+
+impl RuntimePolicy {
+    /// Report label.
+    pub fn label(&self, config: &Rt3Config) -> String {
+        match *self {
+            RuntimePolicy::Adaptive => "adaptive".to_string(),
+            RuntimePolicy::FixedLevel(pos) => {
+                let index = config
+                    .governor
+                    .levels()
+                    .get(pos)
+                    .map(|l| l.index)
+                    .unwrap_or(pos);
+                format!("fixed-l{index}")
+            }
+        }
+    }
+}
+
+/// Serving-engine parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Battery capacity for the trace, joules.
+    pub battery_capacity_j: f64,
+    /// Per-request deadline: arrival + this budget, milliseconds. Should be
+    /// a small multiple of the timing constraint to absorb queueing.
+    pub deadline_budget_ms: f64,
+    /// Scheduler parameters.
+    pub scheduler: SchedulerConfig,
+    /// Controller hysteresis.
+    pub hysteresis: HysteresisConfig,
+    /// Memory-bound fraction of an inference amortised across a micro-batch.
+    pub batch_alpha: f64,
+    /// Level-selection policy.
+    pub policy: RuntimePolicy,
+    /// Replay every dispatched micro-batch as real sparse inference on the
+    /// worker pool (disable for pure-simulation parameter sweeps).
+    pub real_inference: bool,
+    /// Traffic seed.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            battery_capacity_j: 60.0,
+            deadline_budget_ms: 400.0,
+            scheduler: SchedulerConfig::default(),
+            hysteresis: HysteresisConfig::default(),
+            batch_alpha: 0.45,
+            policy: RuntimePolicy::Adaptive,
+            real_inference: true,
+            seed: 0x7233,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.battery_capacity_j > 0.0 && self.battery_capacity_j.is_finite()) {
+            return Err("battery_capacity_j must be positive and finite".into());
+        }
+        if self.deadline_budget_ms <= 0.0 || self.deadline_budget_ms.is_nan() {
+            return Err("deadline_budget_ms must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.batch_alpha) {
+            return Err("batch_alpha must be in [0, 1)".into());
+        }
+        self.scheduler.validate()?;
+        self.hysteresis.validate()?;
+        Ok(())
+    }
+}
+
+/// The online serving engine.
+pub struct ServeEngine<'m, M: Model> {
+    bank: ModelBank<'m, M>,
+    rt3: Rt3Config,
+    service: ServiceModel,
+    power: PowerModel,
+    config: ServeConfig,
+}
+
+impl<'m, M: Model> ServeEngine<'m, M> {
+    /// Builds an engine from the offline artifacts: the live model, the
+    /// Level-1 backbone masks, the Level-2 pattern space and the search's
+    /// best solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search outcome has no feasible best solution, the
+    /// action count differs from the governor's level count, or the serve
+    /// configuration is invalid.
+    pub fn new(
+        model: &'m M,
+        backbone_masks: rt3_transformer::MaskSet,
+        space: &PatternSpace,
+        outcome: &SearchOutcome,
+        rt3: Rt3Config,
+        config: ServeConfig,
+    ) -> Self {
+        config.validate().expect("invalid serve configuration");
+        let best = outcome
+            .best
+            .as_ref()
+            .expect("search outcome has no feasible solution to serve");
+        assert_eq!(
+            best.actions.len(),
+            rt3.governor.levels().len(),
+            "one action per governor level is required"
+        );
+        if let RuntimePolicy::FixedLevel(pos) = config.policy {
+            assert!(
+                pos < rt3.governor.levels().len(),
+                "fixed level position {pos} outside the governor's {} levels",
+                rt3.governor.levels().len()
+            );
+        }
+        let bank = ModelBank::new(
+            model,
+            backbone_masks,
+            space,
+            &best.actions,
+            MemoryModel::odroid_xu3(),
+            rt3.governor.levels().len(),
+        );
+        let service = ServiceModel {
+            predictor: rt3.predictor,
+            workload_config: rt3.workload_config.clone(),
+            seq_len: rt3.seq_len,
+            batch_alpha: config.batch_alpha,
+        };
+        Self {
+            bank,
+            rt3,
+            service,
+            power: PowerModel::cortex_a7(),
+            config,
+        }
+    }
+
+    /// The model bank (for inspection).
+    pub fn bank(&self) -> &ModelBank<'m, M> {
+        &self.bank
+    }
+
+    /// The service model used for deadline accounting.
+    pub fn service_model(&self) -> &ServiceModel {
+        &self.service
+    }
+
+    /// Single-request service time at a governor level position, using the
+    /// *achieved* sparsity of the banked variant.
+    pub fn level_latency_ms(&mut self, level_pos: usize) -> f64 {
+        let sparsity = self.bank.get(level_pos).sparsity;
+        let level = self.rt3.governor.levels()[level_pos];
+        self.service.base_latency_ms(sparsity, &level)
+    }
+
+    /// Plays `scenario` to completion and reports the outcome.
+    pub fn run(&mut self, scenario: &Scenario) -> ServeReport {
+        let mut controller =
+            RuntimeController::new(self.rt3.governor.clone(), self.config.hysteresis);
+        let mut scheduler = DeadlineScheduler::new(self.config.scheduler);
+        let mut battery = Battery::new(self.config.battery_capacity_j);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let levels = self.rt3.governor.levels().to_vec();
+
+        let mut windows = Vec::with_capacity(scenario.duration_s() as usize);
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut runs_per_level = vec![0u64; levels.len()];
+        let mut arrivals_total = 0u64;
+        let mut completed = 0u64;
+        let mut missed = 0u64;
+        let mut switches = 0u64;
+        let mut switch_time_ms = 0.0f64;
+        let mut inference_energy_j = 0.0f64;
+        let mut background_energy_j = 0.0f64;
+        let mut died_at_s: Option<u32> = None;
+        let mut dropped_dead = 0u64;
+        let mut checksum = 0.0f64;
+        let mut real_batches = 0u64;
+        let mut next_id = 0u64;
+        let mut active_level: Option<usize> = None;
+        let mut active_base_latency_ms = 0.0f64;
+
+        // the simulation advances in fixed one-second windows; scenario rates
+        // are per-second, so power (W) converts to energy (J) via WINDOW_S
+        const WINDOW_S: f64 = 1.0;
+        const WINDOW_MS: f64 = WINDOW_S * 1_000.0;
+        for t_s in 0..scenario.duration_s() {
+            let now_ms = t_s as f64 * WINDOW_MS;
+            let window_end_ms = now_ms + WINDOW_MS;
+
+            // battery events that occur regardless of serving state
+            if let Some(drop) = scenario.battery_cliff(t_s) {
+                let loss = drop * battery.capacity_j();
+                let drained = battery.drain(loss.min(battery.remaining_j()));
+                debug_assert!(drained);
+            }
+            battery.charge(scenario.charge_w(t_s) * WINDOW_S);
+
+            let arrival_offsets = scenario.arrivals_in_second(t_s, &mut rng);
+            arrivals_total += arrival_offsets.len() as u64;
+
+            if battery.is_empty() && died_at_s.is_none() {
+                died_at_s = Some(t_s);
+            }
+            if died_at_s.is_some() {
+                // device off: queued and incoming requests are lost
+                dropped_dead += scheduler.drop_all() + arrival_offsets.len() as u64;
+                windows.push(WindowReport {
+                    t_s,
+                    level_pos: None,
+                    state_of_charge: battery.state_of_charge(),
+                    arrivals: arrival_offsets.len() as u64,
+                    completed: 0,
+                    missed: 0,
+                    rejected: 0,
+                    switched: false,
+                });
+                continue;
+            }
+
+            // 1. telemetry + level decision
+            let decision = match self.config.policy {
+                RuntimePolicy::Adaptive => controller.decide(Telemetry {
+                    now_ms,
+                    state_of_charge: battery.state_of_charge(),
+                    thermal_cap: scenario.thermal_cap(t_s),
+                }),
+                RuntimePolicy::FixedLevel(pos) => {
+                    // the thermal cap is hardware-mandated even for the
+                    // baseline; it keeps its (dense-for-that-level) model
+                    let capped = scenario.thermal_cap(t_s).map_or(pos, |cap| pos.min(cap));
+                    crate::controller::LevelDecision {
+                        level_pos: capped,
+                        switched: active_level != Some(capped),
+                    }
+                }
+            };
+            let level_pos = decision.level_pos;
+            let level = levels[level_pos];
+
+            // 2. pattern-set switch: charge time to the workers and traffic
+            //    energy to the battery (the very first activation is a model
+            //    load, not a run-time switch, and is not counted). Sparsity
+            //    and base latency only change on a switch, so they are cached
+            //    here rather than recomputed per window/batch.
+            let counted_switch = active_level.is_some() && active_level != Some(level_pos);
+            if active_level != Some(level_pos) {
+                let cost = self.bank.switch_cost(level_pos);
+                let sparsity = self.bank.get(level_pos).sparsity; // lazy build
+                active_base_latency_ms = self.service.base_latency_ms(sparsity, &level);
+                if counted_switch {
+                    switches += 1;
+                    switch_time_ms += cost.time_ms;
+                    scheduler.block_workers_until(now_ms + cost.time_ms);
+                    let switch_energy = self.power.power_w(&level) * cost.time_ms / 1_000.0;
+                    inference_energy_j += switch_energy;
+                    if !battery.drain(switch_energy) {
+                        battery.drain(battery.remaining_j());
+                    }
+                }
+                active_level = Some(level_pos);
+            }
+            let base_latency = active_base_latency_ms;
+
+            // 3. admit this window's arrivals
+            let mut rejected_window = 0u64;
+            for offset in &arrival_offsets {
+                let arrival_ms = now_ms + offset;
+                let request = Request {
+                    id: next_id,
+                    arrival_ms,
+                    deadline_ms: arrival_ms + self.config.deadline_budget_ms,
+                };
+                next_id += 1;
+                if scheduler.submit(request, base_latency).is_err() {
+                    rejected_window += 1;
+                }
+            }
+
+            // 4. dispatch everything that can start inside this window
+            let completions = scheduler.dispatch(window_end_ms, level_pos, |batch| {
+                self.service.service_from_base_ms(base_latency, batch)
+            });
+
+            // 5. charge inference energy: each worker is one core of the
+            //    cluster, so a batch costs (cluster power / workers) × time
+            let core_power_w = self.power.power_w(&level) / self.config.scheduler.workers as f64;
+            let mut window_missed = 0u64;
+            for completion in &completions {
+                let service_share =
+                    (completion.finish_ms - completion.start_ms) / completion.batch as f64;
+                let energy = core_power_w * service_share / 1_000.0;
+                inference_energy_j += energy;
+                if !battery.drain(energy) {
+                    battery.drain(battery.remaining_j());
+                }
+                completed += 1;
+                runs_per_level[completion.level_pos] += 1;
+                latencies.push(completion.latency_ms());
+                if !completion.met_deadline {
+                    window_missed += 1;
+                }
+            }
+            missed += window_missed;
+            // one pool batch per dispatched micro-batch: the scheduler pushes
+            // a batch's completions consecutively and stamps each with the
+            // batch size, so stepping by that size recovers the batches even
+            // when several start at the same instant on different workers
+            let mut batch_sizes: Vec<usize> = Vec::new();
+            let mut i = 0;
+            while i < completions.len() {
+                let batch = completions[i].batch;
+                batch_sizes.push(batch);
+                i += batch;
+            }
+
+            // 6. replay the dispatched batches as real sparse inference
+            if self.config.real_inference && !batch_sizes.is_empty() {
+                let outcome = pool::run_batches(
+                    self.bank.get(level_pos),
+                    &batch_sizes,
+                    self.config.scheduler.workers,
+                );
+                checksum += outcome.checksum;
+                real_batches += outcome.batches;
+            }
+
+            // 7. background drain
+            let background_j = scenario.background_w(t_s) * WINDOW_S;
+            background_energy_j += background_j;
+            if !battery.drain(background_j) {
+                battery.drain(battery.remaining_j());
+            }
+
+            windows.push(WindowReport {
+                t_s,
+                level_pos: Some(level_pos),
+                state_of_charge: battery.state_of_charge(),
+                arrivals: arrival_offsets.len() as u64,
+                completed: completions.len() as u64,
+                missed: window_missed,
+                rejected: rejected_window,
+                switched: counted_switch,
+            });
+        }
+
+        // requests still queued when the trace ends count as misses, but are
+        // reported separately from admission rejections
+        let leftover = scheduler.drop_all();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rejected = scheduler.rejected_queue_full() + scheduler.rejected_certain_miss();
+        ServeReport {
+            scenario: scenario.name().to_string(),
+            policy: self.config.policy.label(&self.rt3),
+            windows,
+            arrivals: arrivals_total,
+            completed,
+            missed_deadline: missed,
+            rejected,
+            dropped_dead_battery: dropped_dead,
+            dropped_at_trace_end: leftover,
+            latencies_ms: latencies,
+            switches,
+            switch_time_ms,
+            inference_energy_j,
+            background_energy_j,
+            runs_per_level,
+            final_state_of_charge: battery.state_of_charge(),
+            died_at_s,
+            inference_checksum: checksum,
+            real_batches,
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! # rt3-runtime
+//!
+//! The battery-aware **online serving engine** of the RT3 reproduction: it
+//! turns the offline artifacts (Level-1 backbone, Level-2 pattern search
+//! outcome) into a running service that "dances along the battery" —
+//! switching pattern sets as the state of charge, charger and thermal state
+//! change, while meeting per-request deadlines. See DESIGN.md for the
+//! architecture.
+//!
+//! * [`ModelBank`] — one pre-materialised block-sparse model per V/F level,
+//!   built lazily from the search's best solution with LRU eviction and
+//!   switch-cost accounting from [`rt3_hardware::MemoryModel`].
+//! * [`RuntimeController`] — the paper's battery governor plus dwell-window
+//!   and state-of-charge hysteresis, with thermal-cap clamping.
+//! * [`DeadlineScheduler`] / [`ServiceModel`] — bounded queue, admission
+//!   control, greedy micro-batching and simulated workers whose service
+//!   times come from the paper's [`rt3_hardware::PerformancePredictor`].
+//! * [`pool`] — a real multi-threaded worker pool that replays every
+//!   dispatched micro-batch as actual pattern-pruned sparse matmuls.
+//! * [`Scenario`] — trace-driven workloads (constant drain, bursty traffic,
+//!   cliff discharge, charge-while-serving, thermal cap).
+//! * [`ServeEngine`] — the event loop tying it together, producing a
+//!   [`ServeReport`] with p50/p95/p99 latency, deadline-miss rate, energy
+//!   and switch counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use rt3_core::{build_search_space, run_level1, run_level2_search};
+//! use rt3_core::{Rt3Config, SurrogateEvaluator, TaskProfile};
+//! use rt3_runtime::{RuntimePolicy, Scenario, ServeConfig, ServeEngine};
+//! use rt3_transformer::{TransformerConfig, TransformerLm};
+//!
+//! let model = TransformerLm::new(TransformerConfig::tiny(32), 0);
+//! let config = Rt3Config::tiny_test();
+//! let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+//! let backbone = run_level1(&model, &config, &mut evaluator);
+//! let space = build_search_space(&model, &backbone, &config);
+//! let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+//!
+//! let mut engine = ServeEngine::new(
+//!     &model,
+//!     backbone.masks.clone(),
+//!     &space,
+//!     &outcome,
+//!     config,
+//!     ServeConfig { real_inference: false, ..ServeConfig::default() },
+//! );
+//! let report = engine.run(&Scenario::ConstantDrain {
+//!     duration_s: 5,
+//!     rps: 2.0,
+//!     background_w: 0.1,
+//! });
+//! assert!(report.completed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod controller;
+mod engine;
+pub mod pool;
+mod report;
+mod scenario;
+mod scheduler;
+
+pub use bank::{BankStats, BankedModel, ModelBank};
+pub use controller::{HysteresisConfig, LevelDecision, RuntimeController, Telemetry};
+pub use engine::{RuntimePolicy, ServeConfig, ServeEngine};
+pub use report::{ServeReport, WindowReport};
+pub use scenario::Scenario;
+pub use scheduler::{
+    Completion, DeadlineScheduler, RejectReason, Request, SchedulerConfig, ServiceModel,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt3_core::{
+        build_search_space, run_level1, run_level2_search, Rt3Config, SearchOutcome,
+        SurrogateEvaluator, TaskProfile,
+    };
+    use rt3_pruning::PatternSpace;
+    use rt3_transformer::{TransformerConfig, TransformerLm};
+
+    fn offline_artifacts() -> (
+        TransformerLm,
+        rt3_transformer::MaskSet,
+        PatternSpace,
+        SearchOutcome,
+        Rt3Config,
+    ) {
+        let model = TransformerLm::new(TransformerConfig::tiny(32), 13);
+        let config = Rt3Config::tiny_test();
+        let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+        let backbone = run_level1(&model, &config, &mut evaluator);
+        let space = build_search_space(&model, &backbone, &config);
+        let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+        (model, backbone.masks, space, outcome, config)
+    }
+
+    fn serve_config() -> ServeConfig {
+        ServeConfig {
+            battery_capacity_j: 40.0,
+            real_inference: false,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_run_serves_a_constant_trace_end_to_end() {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let mut engine = ServeEngine::new(&model, masks, &space, &outcome, config, serve_config());
+        let report = engine.run(&Scenario::ConstantDrain {
+            duration_s: 30,
+            rps: 3.0,
+            background_w: 0.2,
+        });
+        assert_eq!(report.windows.len(), 30);
+        assert!(report.completed > 0);
+        assert!(report.arrivals >= report.completed);
+        assert!(report.p95_ms() >= report.p50_ms());
+        assert!(
+            report.final_state_of_charge < 1.0,
+            "serving must drain the battery"
+        );
+        assert!(report.inference_energy_j > 0.0);
+    }
+
+    #[test]
+    fn real_inference_pool_produces_a_stable_checksum() {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let serve = ServeConfig {
+            battery_capacity_j: 40.0,
+            real_inference: true,
+            ..ServeConfig::default()
+        };
+        let scenario = Scenario::ConstantDrain {
+            duration_s: 5,
+            rps: 2.0,
+            background_w: 0.1,
+        };
+        let mut engine = ServeEngine::new(
+            &model,
+            masks.clone(),
+            &space,
+            &outcome,
+            config.clone(),
+            serve.clone(),
+        );
+        let a = engine.run(&scenario);
+        let mut engine2 = ServeEngine::new(&model, masks, &space, &outcome, config, serve);
+        let b = engine2.run(&scenario);
+        assert!(a.real_batches > 0);
+        assert_eq!(a.inference_checksum, b.inference_checksum);
+        assert_eq!(a.completed, b.completed, "simulation must be deterministic");
+    }
+
+    #[test]
+    fn adaptive_switches_levels_as_the_battery_drains() {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let serve = ServeConfig {
+            battery_capacity_j: 13.0, // small battery: the trace crosses both thresholds
+            real_inference: false,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(&model, masks, &space, &outcome, config, serve);
+        let report = engine.run(&Scenario::ConstantDrain {
+            duration_s: 60,
+            rps: 4.0,
+            background_w: 0.2,
+        });
+        assert!(
+            report.switches >= 2,
+            "expected level step-downs, got {}",
+            report.switches
+        );
+        assert!(report.switch_time_ms > 0.0);
+        assert!(
+            report.runs_per_level.iter().filter(|&&r| r > 0).count() >= 2,
+            "work should spread over multiple levels: {:?}",
+            report.runs_per_level
+        );
+    }
+
+    #[test]
+    fn fixed_level_baseline_never_switches() {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let top = config.governor.levels().len() - 1;
+        let serve = ServeConfig {
+            battery_capacity_j: 40.0,
+            policy: RuntimePolicy::FixedLevel(top),
+            real_inference: false,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(&model, masks, &space, &outcome, config, serve);
+        let report = engine.run(&Scenario::ConstantDrain {
+            duration_s: 20,
+            rps: 3.0,
+            background_w: 0.2,
+        });
+        assert_eq!(report.switches, 0);
+        assert_eq!(report.policy, "fixed-l6");
+        assert!(report.runs_per_level[top] > 0);
+        assert!(report.runs_per_level[..top].iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn dead_battery_drops_requests_and_is_reported() {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let serve = ServeConfig {
+            battery_capacity_j: 3.0, // dies mid-trace
+            real_inference: false,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(&model, masks, &space, &outcome, config, serve);
+        let report = engine.run(&Scenario::ConstantDrain {
+            duration_s: 40,
+            rps: 4.0,
+            background_w: 0.3,
+        });
+        let died = report.died_at_s.expect("a 3 J battery cannot survive 40 s");
+        assert!(died < 40);
+        assert!(report.dropped_dead_battery > 0);
+        assert!(report.miss_rate() > 0.2);
+    }
+
+    #[test]
+    fn thermal_cap_scenario_clamps_the_level() {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let mut engine = ServeEngine::new(&model, masks, &space, &outcome, config, serve_config());
+        let report = engine.run(&Scenario::ThermalCap {
+            duration_s: 30,
+            rps: 3.0,
+            background_w: 0.1,
+            cap_from_s: 5,
+            cap_until_s: 25,
+            cap_level_pos: 0,
+        });
+        for w in &report.windows {
+            if (5..25).contains(&w.t_s) {
+                assert_eq!(w.level_pos, Some(0), "cap must clamp window {}", w.t_s);
+            }
+        }
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn charge_while_serving_recovers_state_of_charge() {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let serve = ServeConfig {
+            battery_capacity_j: 25.0,
+            real_inference: false,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(&model, masks, &space, &outcome, config, serve);
+        let report = engine.run(&Scenario::ChargeWhileServing {
+            duration_s: 40,
+            rps: 3.0,
+            background_w: 0.2,
+            charge_from_s: 20,
+            charge_w: 3.0,
+        });
+        let soc_at = |t: u32| {
+            report
+                .windows
+                .iter()
+                .find(|w| w.t_s == t)
+                .map(|w| w.state_of_charge)
+                .expect("window exists")
+        };
+        assert!(
+            soc_at(19) < soc_at(39),
+            "charging must raise the state of charge"
+        );
+        assert!(report.died_at_s.is_none());
+    }
+}

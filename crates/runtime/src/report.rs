@@ -1,0 +1,192 @@
+//! Serve-run reporting: per-window traces plus aggregate latency, deadline
+//! and energy statistics.
+
+/// Per-window slice of a serve run (windows are one simulated second).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Window start, seconds into the trace.
+    pub t_s: u32,
+    /// Governor level position in effect (`None` once the device died).
+    pub level_pos: Option<usize>,
+    /// Battery state of charge at the window end.
+    pub state_of_charge: f64,
+    /// Requests that arrived in the window.
+    pub arrivals: u64,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Completions that missed their deadline.
+    pub missed: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Whether a pattern-set switch happened at the window boundary.
+    pub switched: bool,
+}
+
+/// Aggregate outcome of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy label ("adaptive" or "fixed-l<index>").
+    pub policy: String,
+    /// Per-window trace.
+    pub windows: Vec<WindowReport>,
+    /// Total arrivals over the trace.
+    pub arrivals: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Completions that missed their deadline.
+    pub missed_deadline: u64,
+    /// Requests rejected at admission (queue full or certain miss).
+    pub rejected: u64,
+    /// Requests dropped because the battery died.
+    pub dropped_dead_battery: u64,
+    /// Requests still queued (admitted but unserved) when the trace ended.
+    pub dropped_at_trace_end: u64,
+    /// Sorted end-to-end latencies of all completions, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Pattern-set/V-F switches performed.
+    pub switches: u64,
+    /// Total wall time spent switching, milliseconds.
+    pub switch_time_ms: f64,
+    /// Inference energy drawn from the battery, joules.
+    pub inference_energy_j: f64,
+    /// Background (non-inference) energy drawn, joules.
+    pub background_energy_j: f64,
+    /// Completions per governor level position.
+    pub runs_per_level: Vec<u64>,
+    /// Battery state of charge at the end of the trace.
+    pub final_state_of_charge: f64,
+    /// Second at which the battery died, if it did.
+    pub died_at_s: Option<u32>,
+    /// Checksum accumulated by the real sparse-inference worker pool (0 when
+    /// real inference is disabled).
+    pub inference_checksum: f64,
+    /// Real sparse-inference batches executed by the worker pool.
+    pub real_batches: u64,
+}
+
+impl ServeReport {
+    /// Fraction of all arrivals that failed to complete by their deadline
+    /// (deadline misses + rejections + dead-battery and trace-end drops).
+    pub fn miss_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        (self.missed_deadline
+            + self.rejected
+            + self.dropped_dead_battery
+            + self.dropped_at_trace_end) as f64
+            / self.arrivals as f64
+    }
+
+    /// Latency percentile over completions, `q` in `[0, 1]`. Returns 0 with
+    /// no completions.
+    pub fn latency_percentile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // nearest-rank: the smallest latency with at least q of the mass at
+        // or below it
+        let rank = (q * self.latencies_ms.len() as f64).ceil() as usize;
+        self.latencies_ms[rank.max(1) - 1]
+    }
+
+    /// Median latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.latency_percentile_ms(0.50)
+    }
+
+    /// 95th-percentile latency in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.latency_percentile_ms(0.95)
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency_percentile_ms(0.99)
+    }
+
+    /// Total energy drawn from the battery, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.inference_energy_j + self.background_energy_j
+    }
+
+    /// Completions per joule of inference energy (the online analogue of the
+    /// paper's "number of runs" metric).
+    pub fn runs_per_joule(&self) -> f64 {
+        if self.inference_energy_j <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.inference_energy_j
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<22} {:<10} served {:>5}/{:<5} miss {:>5.1}% p50 {:>6.1} ms p95 {:>6.1} ms \
+             switches {:>3} energy {:>7.1} J final soc {:>4.0}%{}",
+            self.scenario,
+            self.policy,
+            self.completed,
+            self.arrivals,
+            100.0 * self.miss_rate(),
+            self.p50_ms(),
+            self.p95_ms(),
+            self.switches,
+            self.total_energy_j(),
+            100.0 * self.final_state_of_charge,
+            match self.died_at_s {
+                Some(t) => format!(" DIED at {t} s"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<f64>) -> ServeReport {
+        ServeReport {
+            scenario: "test".into(),
+            policy: "adaptive".into(),
+            windows: Vec::new(),
+            arrivals: 10,
+            completed: latencies.len() as u64,
+            missed_deadline: 1,
+            rejected: 1,
+            dropped_dead_battery: 0,
+            dropped_at_trace_end: 0,
+            latencies_ms: latencies,
+            switches: 2,
+            switch_time_ms: 10.0,
+            inference_energy_j: 5.0,
+            background_energy_j: 2.5,
+            runs_per_level: vec![0, 0, 8],
+            final_state_of_charge: 0.4,
+            died_at_s: None,
+            inference_checksum: 0.0,
+            real_batches: 0,
+        }
+    }
+
+    #[test]
+    fn miss_rate_counts_rejections_and_misses() {
+        let r = report(vec![50.0; 8]);
+        assert!((r.miss_rate() - 0.2).abs() < 1e-12);
+        assert!((r.total_energy_j() - 7.5).abs() < 1e-12);
+        assert!(r.runs_per_joule() > 0.0);
+    }
+
+    #[test]
+    fn percentiles_pick_from_sorted_latencies() {
+        let r = report((1..=100).map(|x| x as f64).collect());
+        assert_eq!(r.p50_ms(), 50.0);
+        assert_eq!(r.p95_ms(), 95.0);
+        assert_eq!(r.p99_ms(), 99.0);
+        assert_eq!(report(Vec::new()).p95_ms(), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Trace-driven serving scenarios: each variant describes a full run —
+//! request traffic, background power draw, charging, battery events and
+//! thermal caps — so a new workload is one enum value away.
+//!
+//! Traffic is generated deterministically from the engine seed: each window
+//! draws `rate × window` arrivals (with the fractional part resolved by a
+//! Bernoulli draw) at uniform offsets, which approximates a Poisson process
+//! closely enough for scheduler studies while staying replayable.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A serving scenario to play against the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scenario {
+    /// Steady request rate and steady background drain — the paper's
+    /// Table II setting as an online trace.
+    ConstantDrain {
+        /// Trace length in seconds.
+        duration_s: u32,
+        /// Request arrivals per second.
+        rps: f64,
+        /// Non-inference device power draw in watts.
+        background_w: f64,
+    },
+    /// A base rate with periodic traffic bursts (the acceptance scenario).
+    BurstyTraffic {
+        /// Trace length in seconds.
+        duration_s: u32,
+        /// Baseline arrivals per second.
+        base_rps: f64,
+        /// Arrivals per second while a burst is active.
+        burst_rps: f64,
+        /// Seconds between burst starts.
+        period_s: u32,
+        /// Length of each burst in seconds.
+        burst_len_s: u32,
+        /// Non-inference device power draw in watts.
+        background_w: f64,
+    },
+    /// Steady traffic with a sudden loss of battery charge mid-trace
+    /// (voltage-sag cliff as the pack ages or the weather turns cold).
+    CliffDischarge {
+        /// Trace length in seconds.
+        duration_s: u32,
+        /// Request arrivals per second.
+        rps: f64,
+        /// Non-inference device power draw in watts.
+        background_w: f64,
+        /// Second at which the cliff hits.
+        cliff_at_s: u32,
+        /// Fraction of *capacity* lost instantly, in `[0, 1]`.
+        cliff_drop: f64,
+    },
+    /// The device is plugged in partway through and charges while serving.
+    ChargeWhileServing {
+        /// Trace length in seconds.
+        duration_s: u32,
+        /// Request arrivals per second.
+        rps: f64,
+        /// Non-inference device power draw in watts.
+        background_w: f64,
+        /// Second at which the charger is plugged in.
+        charge_from_s: u32,
+        /// Charging power in watts (net of background once plugged).
+        charge_w: f64,
+    },
+    /// A thermal governor caps the maximum V/F level for part of the trace.
+    ThermalCap {
+        /// Trace length in seconds.
+        duration_s: u32,
+        /// Request arrivals per second.
+        rps: f64,
+        /// Non-inference device power draw in watts.
+        background_w: f64,
+        /// Second at which the cap engages.
+        cap_from_s: u32,
+        /// Second at which the cap releases.
+        cap_until_s: u32,
+        /// Maximum allowed level position while capped (0 = lowest).
+        cap_level_pos: usize,
+    },
+}
+
+impl Scenario {
+    /// The acceptance-criteria bursty trace: 90 simulated seconds, 30 req/s
+    /// baseline with 60 req/s bursts for 6 s out of every 20 s, 0.08 W
+    /// background draw (inference, not idle power, dominates the battery).
+    pub fn default_bursty() -> Self {
+        Scenario::BurstyTraffic {
+            duration_s: 90,
+            base_rps: 30.0,
+            burst_rps: 60.0,
+            period_s: 20,
+            burst_len_s: 6,
+            background_w: 0.08,
+        }
+    }
+
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::ConstantDrain { .. } => "constant-drain",
+            Scenario::BurstyTraffic { .. } => "bursty-traffic",
+            Scenario::CliffDischarge { .. } => "cliff-discharge",
+            Scenario::ChargeWhileServing { .. } => "charge-while-serving",
+            Scenario::ThermalCap { .. } => "thermal-cap",
+        }
+    }
+
+    /// Trace length in seconds.
+    pub fn duration_s(&self) -> u32 {
+        match *self {
+            Scenario::ConstantDrain { duration_s, .. }
+            | Scenario::BurstyTraffic { duration_s, .. }
+            | Scenario::CliffDischarge { duration_s, .. }
+            | Scenario::ChargeWhileServing { duration_s, .. }
+            | Scenario::ThermalCap { duration_s, .. } => duration_s,
+        }
+    }
+
+    /// Request rate in effect at `t_s` seconds into the trace.
+    pub fn rate_at(&self, t_s: u32) -> f64 {
+        match *self {
+            Scenario::ConstantDrain { rps, .. }
+            | Scenario::CliffDischarge { rps, .. }
+            | Scenario::ChargeWhileServing { rps, .. }
+            | Scenario::ThermalCap { rps, .. } => rps,
+            Scenario::BurstyTraffic {
+                base_rps,
+                burst_rps,
+                period_s,
+                burst_len_s,
+                ..
+            } => {
+                if period_s > 0 && t_s % period_s < burst_len_s {
+                    burst_rps
+                } else {
+                    base_rps
+                }
+            }
+        }
+    }
+
+    /// Non-inference device power draw at `t_s`, in watts.
+    pub fn background_w(&self, _t_s: u32) -> f64 {
+        match *self {
+            Scenario::ConstantDrain { background_w, .. }
+            | Scenario::BurstyTraffic { background_w, .. }
+            | Scenario::CliffDischarge { background_w, .. }
+            | Scenario::ChargeWhileServing { background_w, .. }
+            | Scenario::ThermalCap { background_w, .. } => background_w,
+        }
+    }
+
+    /// Charging power flowing *into* the battery at `t_s`, in watts.
+    pub fn charge_w(&self, t_s: u32) -> f64 {
+        match *self {
+            Scenario::ChargeWhileServing {
+                charge_from_s,
+                charge_w,
+                ..
+            } if t_s >= charge_from_s => charge_w,
+            _ => 0.0,
+        }
+    }
+
+    /// Instantaneous battery loss (fraction of capacity) occurring during
+    /// second `t_s`, if any.
+    pub fn battery_cliff(&self, t_s: u32) -> Option<f64> {
+        match *self {
+            Scenario::CliffDischarge {
+                cliff_at_s,
+                cliff_drop,
+                ..
+            } if t_s == cliff_at_s => Some(cliff_drop),
+            _ => None,
+        }
+    }
+
+    /// Thermal cap on the level position in effect at `t_s`, if any.
+    pub fn thermal_cap(&self, t_s: u32) -> Option<usize> {
+        match *self {
+            Scenario::ThermalCap {
+                cap_from_s,
+                cap_until_s,
+                cap_level_pos,
+                ..
+            } if (cap_from_s..cap_until_s).contains(&t_s) => Some(cap_level_pos),
+            _ => None,
+        }
+    }
+
+    /// Arrival offsets (milliseconds into the window) for the one-second
+    /// window starting at `t_s`, sorted ascending.
+    pub fn arrivals_in_second(&self, t_s: u32, rng: &mut StdRng) -> Vec<f64> {
+        let rate = self.rate_at(t_s);
+        if rate <= 0.0 {
+            return Vec::new();
+        }
+        let whole = rate.floor() as usize;
+        let fractional = rate - rate.floor();
+        let count = whole + usize::from(rng.gen_bool(fractional));
+        let mut offsets: Vec<f64> = (0..count).map(|_| rng.gen_range(0.0..1_000.0)).collect();
+        offsets.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bursty_rate_alternates() {
+        let s = Scenario::default_bursty();
+        assert_eq!(s.rate_at(0), 60.0, "burst at window start");
+        assert_eq!(s.rate_at(6), 30.0);
+        assert_eq!(s.rate_at(20), 60.0);
+        assert!(
+            s.duration_s() >= 60,
+            "acceptance trace is at least a minute"
+        );
+    }
+
+    #[test]
+    fn arrivals_match_rate_on_average_and_are_sorted() {
+        let s = Scenario::ConstantDrain {
+            duration_s: 60,
+            rps: 5.5,
+            background_w: 0.2,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut total = 0usize;
+        for t in 0..400 {
+            let a = s.arrivals_in_second(t, &mut rng);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]));
+            assert!(a.iter().all(|&x| (0.0..1_000.0).contains(&x)));
+            total += a.len();
+        }
+        let mean = total as f64 / 400.0;
+        assert!(
+            (mean - 5.5).abs() < 0.4,
+            "mean arrivals {mean} should track 5.5"
+        );
+    }
+
+    #[test]
+    fn cliff_charge_and_cap_fire_at_the_right_times() {
+        let cliff = Scenario::CliffDischarge {
+            duration_s: 60,
+            rps: 2.0,
+            background_w: 0.2,
+            cliff_at_s: 30,
+            cliff_drop: 0.25,
+        };
+        assert_eq!(cliff.battery_cliff(29), None);
+        assert_eq!(cliff.battery_cliff(30), Some(0.25));
+        let charge = Scenario::ChargeWhileServing {
+            duration_s: 60,
+            rps: 2.0,
+            background_w: 0.2,
+            charge_from_s: 20,
+            charge_w: 2.0,
+        };
+        assert_eq!(charge.charge_w(19), 0.0);
+        assert_eq!(charge.charge_w(20), 2.0);
+        let cap = Scenario::ThermalCap {
+            duration_s: 60,
+            rps: 2.0,
+            background_w: 0.2,
+            cap_from_s: 10,
+            cap_until_s: 40,
+            cap_level_pos: 0,
+        };
+        assert_eq!(cap.thermal_cap(9), None);
+        assert_eq!(cap.thermal_cap(10), Some(0));
+        assert_eq!(cap.thermal_cap(40), None);
+    }
+}

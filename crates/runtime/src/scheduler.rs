@@ -1,0 +1,395 @@
+//! Deadline-aware request scheduling: bounded queue, admission control and
+//! greedy micro-batching over a pool of simulated workers.
+//!
+//! Time is simulated: the engine advances a millisecond clock and the
+//! scheduler tracks when each worker frees up. Service times come from a
+//! [`ServiceModel`] wrapping the paper's [`PerformancePredictor`] — for a
+//! batch of one, the charged time **is** the predictor's latency at the
+//! active V/F level (the property test in `tests/proptest_runtime.rs` pins
+//! this), and larger micro-batches amortise the memory-bound fraction of an
+//! inference across requests.
+
+use rt3_hardware::{PerformancePredictor, VfLevel};
+use rt3_sparse::SparseFormat;
+use rt3_transformer::TransformerConfig;
+use std::collections::VecDeque;
+
+/// Latency model of one served batch.
+#[derive(Debug, Clone)]
+pub struct ServiceModel {
+    /// Latency predictor calibrated for the target core/cluster.
+    pub predictor: PerformancePredictor,
+    /// Model shape used for latency accounting (may be the full-size paper
+    /// shape even when the banked weights are smaller).
+    pub workload_config: TransformerConfig,
+    /// Sequence length of one request.
+    pub seq_len: usize,
+    /// Fraction of a single-request inference that is amortised across a
+    /// micro-batch (weight streaming); the rest scales per request. In
+    /// `[0, 1)`; batch of 1 always costs exactly the predicted latency.
+    pub batch_alpha: f64,
+}
+
+impl ServiceModel {
+    /// Predicted latency of a single request at `sparsity` on `level`.
+    pub fn base_latency_ms(&self, sparsity: f64, level: &VfLevel) -> f64 {
+        let workload = rt3_hardware::ModelWorkload::from_config(
+            &self.workload_config,
+            sparsity,
+            self.seq_len,
+            SparseFormat::BlockPruned,
+        );
+        self.predictor.latency_ms(&workload, level)
+    }
+
+    /// Service time of a micro-batch of `batch` requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn service_ms(&self, sparsity: f64, level: &VfLevel, batch: usize) -> f64 {
+        self.service_from_base_ms(self.base_latency_ms(sparsity, level), batch)
+    }
+
+    /// Service time of a micro-batch given a precomputed single-request
+    /// latency (lets callers cache [`ServiceModel::base_latency_ms`] between
+    /// level switches instead of rebuilding the workload per batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn service_from_base_ms(&self, base_latency_ms: f64, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be non-empty");
+        base_latency_ms * (self.batch_alpha + (1.0 - self.batch_alpha) * batch as f64)
+    }
+}
+
+/// Scheduler parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Maximum queued (admitted but unstarted) requests.
+    pub queue_capacity: usize,
+    /// Maximum requests served in one micro-batch.
+    pub max_batch: usize,
+    /// Number of parallel workers (≈ cores serving inference).
+    pub workers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 4,
+            workers: 4,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be positive".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be positive".into());
+        }
+        if self.workers == 0 {
+            return Err("at least one worker is required".into());
+        }
+        Ok(())
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Monotonically increasing id.
+    pub id: u64,
+    /// Arrival time in simulated milliseconds.
+    pub arrival_ms: f64,
+    /// Absolute completion deadline in simulated milliseconds.
+    pub deadline_ms: f64,
+}
+
+/// Why a request was turned away at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue was full.
+    QueueFull,
+    /// Even an immediate dispatch could not meet the deadline.
+    CertainMiss,
+}
+
+/// One served request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Request id.
+    pub id: u64,
+    /// Arrival time in milliseconds.
+    pub arrival_ms: f64,
+    /// Service start time in milliseconds.
+    pub start_ms: f64,
+    /// Completion time in milliseconds.
+    pub finish_ms: f64,
+    /// Size of the micro-batch the request rode in.
+    pub batch: usize,
+    /// Governor level position it was served at.
+    pub level_pos: usize,
+    /// Whether the completion met the request deadline.
+    pub met_deadline: bool,
+}
+
+impl Completion {
+    /// End-to-end latency (queueing + service) in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.finish_ms - self.arrival_ms
+    }
+}
+
+/// Bounded-queue, micro-batching, deadline-aware scheduler over simulated
+/// workers.
+#[derive(Debug, Clone)]
+pub struct DeadlineScheduler {
+    config: SchedulerConfig,
+    queue: VecDeque<Request>,
+    worker_free_at_ms: Vec<f64>,
+    rejected_queue_full: u64,
+    rejected_certain_miss: u64,
+}
+
+impl DeadlineScheduler {
+    /// Creates an idle scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: SchedulerConfig) -> Self {
+        config.validate().expect("invalid scheduler configuration");
+        Self {
+            worker_free_at_ms: vec![0.0; config.workers],
+            config,
+            queue: VecDeque::new(),
+            rejected_queue_full: 0,
+            rejected_certain_miss: 0,
+        }
+    }
+
+    /// Currently queued requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests rejected because the queue was full.
+    pub fn rejected_queue_full(&self) -> u64 {
+        self.rejected_queue_full
+    }
+
+    /// Requests rejected because they could not possibly meet their deadline.
+    pub fn rejected_certain_miss(&self) -> u64 {
+        self.rejected_certain_miss
+    }
+
+    /// Earliest time any worker frees up.
+    pub fn earliest_free_ms(&self) -> f64 {
+        self.worker_free_at_ms
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Blocks every worker until at least `until_ms` (used to charge
+    /// pattern-set switch time to the serving pipeline).
+    pub fn block_workers_until(&mut self, until_ms: f64) {
+        for free_at in &mut self.worker_free_at_ms {
+            *free_at = free_at.max(until_ms);
+        }
+    }
+
+    /// Admission control: accepts the request into the bounded queue or
+    /// rejects it. `service_est_ms` is the engine's estimate of a
+    /// single-request service at the active level.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] when the request is turned away.
+    pub fn submit(&mut self, request: Request, service_est_ms: f64) -> Result<(), RejectReason> {
+        if self.queue.len() >= self.config.queue_capacity {
+            self.rejected_queue_full += 1;
+            return Err(RejectReason::QueueFull);
+        }
+        let earliest_start = self.earliest_free_ms().max(request.arrival_ms);
+        if earliest_start + service_est_ms > request.deadline_ms {
+            self.rejected_certain_miss += 1;
+            return Err(RejectReason::CertainMiss);
+        }
+        self.queue.push_back(request);
+        Ok(())
+    }
+
+    /// Dispatches queued requests whose service can start before `until_ms`,
+    /// forming greedy micro-batches: when a worker frees up it grabs every
+    /// request that has already arrived, up to `max_batch`.
+    ///
+    /// `service_ms(batch)` converts a batch size into a service time at the
+    /// active level; `level_pos` is recorded on the completions.
+    pub fn dispatch<F: Fn(usize) -> f64>(
+        &mut self,
+        until_ms: f64,
+        level_pos: usize,
+        service_ms: F,
+    ) -> Vec<Completion> {
+        let mut completions = Vec::new();
+        while let Some(head) = self.queue.front().copied() {
+            // the least-loaded worker takes the next batch
+            let worker = self
+                .worker_free_at_ms
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .expect("at least one worker");
+            let start = self.worker_free_at_ms[worker].max(head.arrival_ms);
+            if start >= until_ms {
+                break;
+            }
+            let mut batch = Vec::new();
+            while batch.len() < self.config.max_batch {
+                match self.queue.front() {
+                    Some(r) if r.arrival_ms <= start => {
+                        batch.push(self.queue.pop_front().expect("front checked"));
+                    }
+                    _ => break,
+                }
+            }
+            let service = service_ms(batch.len());
+            let finish = start + service;
+            self.worker_free_at_ms[worker] = finish;
+            for request in batch.iter() {
+                completions.push(Completion {
+                    id: request.id,
+                    arrival_ms: request.arrival_ms,
+                    start_ms: start,
+                    finish_ms: finish,
+                    batch: batch.len(),
+                    level_pos,
+                    met_deadline: finish <= request.deadline_ms,
+                });
+            }
+        }
+        completions
+    }
+
+    /// Drops every queued request (device off); returns how many were
+    /// dropped.
+    pub fn drop_all(&mut self) -> u64 {
+        let n = self.queue.len() as u64;
+        self.queue.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler(workers: usize, max_batch: usize, capacity: usize) -> DeadlineScheduler {
+        DeadlineScheduler::new(SchedulerConfig {
+            queue_capacity: capacity,
+            max_batch,
+            workers,
+        })
+    }
+
+    fn request(id: u64, arrival_ms: f64, deadline_ms: f64) -> Request {
+        Request {
+            id,
+            arrival_ms,
+            deadline_ms,
+        }
+    }
+
+    #[test]
+    fn single_request_is_served_at_predicted_latency() {
+        let mut s = scheduler(2, 4, 8);
+        s.submit(request(1, 10.0, 500.0), 100.0).unwrap();
+        let done = s.dispatch(1_000.0, 1, |b| 100.0 * b as f64);
+        assert_eq!(done.len(), 1);
+        let c = done[0];
+        assert_eq!(c.start_ms, 10.0);
+        assert_eq!(c.finish_ms, 110.0);
+        assert!((c.latency_ms() - 100.0).abs() < 1e-12);
+        assert!(c.met_deadline);
+        assert_eq!(c.level_pos, 1);
+    }
+
+    #[test]
+    fn queue_bound_and_certain_miss_admission() {
+        let mut s = scheduler(1, 1, 2);
+        s.submit(request(1, 0.0, 1_000.0), 100.0).unwrap();
+        s.submit(request(2, 0.0, 1_000.0), 100.0).unwrap();
+        assert_eq!(
+            s.submit(request(3, 0.0, 1_000.0), 100.0),
+            Err(RejectReason::QueueFull)
+        );
+        assert_eq!(s.rejected_queue_full(), 1);
+        let mut s = scheduler(1, 1, 8);
+        assert_eq!(
+            s.submit(request(1, 0.0, 50.0), 100.0),
+            Err(RejectReason::CertainMiss)
+        );
+        assert_eq!(s.rejected_certain_miss(), 1);
+    }
+
+    #[test]
+    fn burst_forms_micro_batches_up_to_the_cap() {
+        let mut s = scheduler(1, 3, 16);
+        for id in 0..5 {
+            s.submit(request(id, 0.0, 10_000.0), 50.0).unwrap();
+        }
+        let done = s.dispatch(10_000.0, 0, |b| 50.0 + 10.0 * b as f64);
+        assert_eq!(done.len(), 5);
+        assert_eq!(done[0].batch, 3, "first batch fills to max_batch");
+        assert_eq!(done[3].batch, 2, "remainder rides in a second batch");
+        assert!(done[3].start_ms >= done[0].finish_ms);
+    }
+
+    #[test]
+    fn workers_serve_in_parallel() {
+        let mut s = scheduler(2, 1, 16);
+        s.submit(request(1, 0.0, 1_000.0), 100.0).unwrap();
+        s.submit(request(2, 0.0, 1_000.0), 100.0).unwrap();
+        let done = s.dispatch(1_000.0, 0, |_| 100.0);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].start_ms, 0.0);
+        assert_eq!(done[1].start_ms, 0.0, "second worker starts concurrently");
+    }
+
+    #[test]
+    fn dispatch_stops_at_the_window_edge() {
+        let mut s = scheduler(1, 1, 16);
+        s.submit(request(1, 0.0, 10_000.0), 100.0).unwrap();
+        s.submit(request(2, 950.0, 10_000.0), 100.0).unwrap();
+        let done = s.dispatch(1_000.0, 0, |_| 100.0);
+        assert_eq!(done.len(), 2, "second starts at 950 < 1000");
+        let mut s = scheduler(1, 1, 16);
+        s.submit(request(1, 0.0, 10_000.0), 100.0).unwrap();
+        s.submit(request(2, 1_100.0, 10_000.0), 100.0).unwrap();
+        let done = s.dispatch(1_000.0, 0, |_| 100.0);
+        assert_eq!(done.len(), 1, "arrival beyond the window stays queued");
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn switch_blocking_delays_starts() {
+        let mut s = scheduler(2, 4, 16);
+        s.block_workers_until(500.0);
+        s.submit(request(1, 0.0, 10_000.0), 100.0).unwrap();
+        let done = s.dispatch(10_000.0, 0, |_| 100.0);
+        assert_eq!(done[0].start_ms, 500.0);
+    }
+}

@@ -65,7 +65,10 @@ impl PatternMask {
             importance.cols(),
             "importance map must be square"
         );
-        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&sparsity),
+            "sparsity must be in [0, 1]"
+        );
         let size = importance.rows();
         let total = size * size;
         let keep = ((1.0 - sparsity) * total as f64).round() as usize;
@@ -89,7 +92,10 @@ impl PatternMask {
     ///
     /// Panics if `sparsity` is outside `[0, 1]`.
     pub fn random<R: Rng + ?Sized>(size: usize, sparsity: f64, rng: &mut R) -> Self {
-        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&sparsity),
+            "sparsity must be in [0, 1]"
+        );
         let total = size * size;
         let keep = ((1.0 - sparsity) * total as f64).round() as usize;
         let mut idx: Vec<usize> = (0..total).collect();
@@ -236,7 +242,9 @@ pub enum SparseError {
 impl std::fmt::Display for SparseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SparseError::EmptyPatternSet => write!(f, "pattern set must contain at least one pattern"),
+            SparseError::EmptyPatternSet => {
+                write!(f, "pattern set must contain at least one pattern")
+            }
             SparseError::MixedPatternSizes { expected, found } => write!(
                 f,
                 "pattern sizes are inconsistent: expected {}, found {}",
@@ -520,13 +528,19 @@ mod tests {
     use rand::SeedableRng;
 
     fn checkerboard(size: usize) -> PatternMask {
-        let bits = (0..size * size).map(|i| (i / size + i % size) % 2 == 0).collect();
+        let bits = (0..size * size)
+            .map(|i| (i / size + i % size).is_multiple_of(2))
+            .collect();
         PatternMask::new(size, bits)
     }
 
     #[test]
     fn from_importance_keeps_top_positions() {
-        let imp = Matrix::from_rows(&[vec![9.0, 1.0, 8.0], vec![0.1, 7.0, 0.2], vec![0.3, 0.4, 6.0]]);
+        let imp = Matrix::from_rows(&[
+            vec![9.0, 1.0, 8.0],
+            vec![0.1, 7.0, 0.2],
+            vec![0.3, 0.4, 6.0],
+        ]);
         let p = PatternMask::from_importance(&imp, 1.0 - 4.0 / 9.0);
         assert_eq!(p.ones(), 4);
         assert!(p.is_kept(0, 0) && p.is_kept(0, 2) && p.is_kept(1, 1) && p.is_kept(2, 2));
@@ -562,7 +576,10 @@ mod tests {
 
     #[test]
     fn pattern_set_rejects_empty_and_mixed_sizes() {
-        assert_eq!(PatternSet::new(vec![]).unwrap_err(), SparseError::EmptyPatternSet);
+        assert_eq!(
+            PatternSet::new(vec![]).unwrap_err(),
+            SparseError::EmptyPatternSet
+        );
         let err = PatternSet::new(vec![PatternMask::dense(2), PatternMask::dense(3)]).unwrap_err();
         assert!(matches!(err, SparseError::MixedPatternSizes { .. }));
     }

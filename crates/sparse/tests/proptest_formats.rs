@@ -11,11 +11,8 @@ use rt3_tensor::Matrix;
 /// Strategy: a small matrix with controllable density of non-zeros.
 fn sparse_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (2..=max_dim, 2..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(
-            prop_oneof![3 => Just(0.0f32), 2 => -2.0f32..2.0f32],
-            r * c,
-        )
-        .prop_map(move |data| Matrix::from_vec(r, c, data))
+        proptest::collection::vec(prop_oneof![3 => Just(0.0f32), 2 => -2.0f32..2.0f32], r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
     })
 }
 
@@ -111,9 +108,9 @@ proptest! {
         prop_assert_eq!(p.total(), dim);
         let mut covered = vec![false; dim];
         for &(s, e) in p.ranges() {
-            for i in s..e {
-                prop_assert!(!covered[i], "row {} covered twice", i);
-                covered[i] = true;
+            for (i, slot) in covered.iter_mut().enumerate().skip(s).take(e - s) {
+                prop_assert!(!*slot, "row {} covered twice", i);
+                *slot = true;
             }
         }
         prop_assert!(covered.into_iter().all(|c| c));

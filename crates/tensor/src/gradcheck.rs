@@ -94,11 +94,7 @@ mod tests {
             let loss = build(&mut g, w);
             g.scalar(loss)
         });
-        assert!(
-            report.passes(tol),
-            "gradient check failed: {:?}",
-            report
-        );
+        assert!(report.passes(tol), "gradient check failed: {:?}", report);
     }
 
     #[test]

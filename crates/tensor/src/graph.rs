@@ -162,7 +162,9 @@ impl Graph {
     ///
     /// Panics if shapes differ.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let value = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         let rg = self.requires(a) || self.requires(b);
         self.push(value, Op::Add(a, b), rg)
     }
@@ -173,7 +175,9 @@ impl Graph {
     ///
     /// Panics if shapes differ.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let value = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         let rg = self.requires(a) || self.requires(b);
         self.push(value, Op::Sub(a, b), rg)
     }
@@ -184,7 +188,9 @@ impl Graph {
     ///
     /// Panics if shapes differ.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let value = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         let rg = self.requires(a) || self.requires(b);
         self.push(value, Op::Mul(a, b), rg)
     }
@@ -611,6 +617,7 @@ impl Graph {
                     let mut g_input = Matrix::zeros(normalized.rows(), normalized.cols());
                     let mut g_gamma = Matrix::zeros(1, normalized.cols());
                     let mut g_beta = Matrix::zeros(1, normalized.cols());
+                    #[allow(clippy::needless_range_loop)]
                     for i in 0..normalized.rows() {
                         // dL/dxhat per element
                         let dxhat: Vec<f32> = (0..normalized.cols())
@@ -622,6 +629,7 @@ impl Graph {
                             .enumerate()
                             .map(|(j, d)| d * normalized.get(i, j))
                             .sum();
+                        #[allow(clippy::needless_range_loop)]
                         for j in 0..normalized.cols() {
                             let xhat = normalized.get(i, j);
                             let gi = inv_std[i] / cols
@@ -746,8 +754,7 @@ fn gelu_grad_scalar(x: f32) -> f32 {
     let inner = SQRT_2_OVER_PI * (x + 0.044715 * x * x * x);
     let tanh_inner = inner.tanh();
     let sech2 = 1.0 - tanh_inner * tanh_inner;
-    0.5 * (1.0 + tanh_inner)
-        + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x)
+    0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x)
 }
 
 #[cfg(test)]
@@ -811,7 +818,10 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let mut g = Graph::new();
-        let a = g.leaf(Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 1.0]]));
+        let a = g.leaf(Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![-1.0, 0.0, 1.0],
+        ]));
         let s = g.softmax_rows(a);
         for i in 0..2 {
             let sum: f32 = g.value(s).row(i).iter().sum();

@@ -62,10 +62,7 @@ impl Sgd {
     /// Panics if `lr` is not finite and positive or `momentum` is out of range.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Self {
             lr,
             momentum,

@@ -42,7 +42,7 @@ impl TransformerConfig {
         if self.hidden_dim == 0 || self.num_heads == 0 {
             return Err("hidden_dim and num_heads must be positive".into());
         }
-        if self.hidden_dim % self.num_heads != 0 {
+        if !self.hidden_dim.is_multiple_of(self.num_heads) {
             return Err(format!(
                 "hidden_dim {} must be divisible by num_heads {}",
                 self.hidden_dim, self.num_heads

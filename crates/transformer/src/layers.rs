@@ -44,7 +44,11 @@ impl MultiHeadAttention {
     ///
     /// Panics if `hidden` is not divisible by `num_heads`.
     pub fn new<R: Rng + ?Sized>(hidden: usize, num_heads: usize, rng: &mut R) -> Self {
-        assert_eq!(hidden % num_heads, 0, "hidden must divide evenly into heads");
+        assert_eq!(
+            hidden % num_heads,
+            0,
+            "hidden must divide evenly into heads"
+        );
         Self {
             wq: Matrix::xavier(hidden, hidden, rng),
             wk: Matrix::xavier(hidden, hidden, rng),
@@ -347,7 +351,8 @@ impl DecoderLayer {
     pub fn collect<'a>(&'a self, prefix: &str, out: &mut Vec<(String, &'a Matrix)>) {
         self.self_attn.collect(&format!("{prefix}.self_attn"), out);
         self.norm1.collect(&format!("{prefix}.norm1"), out);
-        self.cross_attn.collect(&format!("{prefix}.cross_attn"), out);
+        self.cross_attn
+            .collect(&format!("{prefix}.cross_attn"), out);
         self.norm2.collect(&format!("{prefix}.norm2"), out);
         self.ffn.collect(&format!("{prefix}.ffn"), out);
         self.norm3.collect(&format!("{prefix}.norm3"), out);

@@ -86,7 +86,8 @@ impl MaskSet {
                         "mask shape mismatch for {}",
                         name
                     );
-                    *existing = existing.zip(mask, |a, b| if a != 0.0 && b != 0.0 { 1.0 } else { 0.0 });
+                    *existing =
+                        existing.zip(mask, |a, b| if a != 0.0 && b != 0.0 { 1.0 } else { 0.0 });
                 }
                 None => {
                     out.masks.insert(name.to_string(), mask.clone());

@@ -24,11 +24,7 @@ pub struct ParamBindings {
 
 impl ParamBindings {
     /// Builds bindings for `parameters`, applying any masks in `masks`.
-    pub fn bind(
-        g: &mut Graph,
-        parameters: &[(String, &Matrix)],
-        masks: Option<&MaskSet>,
-    ) -> Self {
+    pub fn bind(g: &mut Graph, parameters: &[(String, &Matrix)], masks: Option<&MaskSet>) -> Self {
         let mut order = Vec::with_capacity(parameters.len());
         let mut leaves = HashMap::with_capacity(parameters.len());
         let mut effective = HashMap::with_capacity(parameters.len());
@@ -140,7 +136,12 @@ pub trait Model {
     fn apply_masks_permanently(&mut self, masks: &MaskSet) {
         for (name, param) in self.parameters_mut() {
             if let Some(mask) = masks.get(&name) {
-                assert_eq!(mask.shape(), param.shape(), "mask shape mismatch for {}", name);
+                assert_eq!(
+                    mask.shape(),
+                    param.shape(),
+                    "mask shape mismatch for {}",
+                    name
+                );
                 *param = param.zip(mask, |w, m| if m != 0.0 { w } else { 0.0 });
             }
         }
@@ -177,7 +178,9 @@ impl TransformerLm {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(config: TransformerConfig, seed: u64) -> Self {
-        config.validate().expect("invalid transformer configuration");
+        config
+            .validate()
+            .expect("invalid transformer configuration");
         let mut rng = StdRng::seed_from_u64(seed);
         let h = config.hidden_dim;
         let encoders = (0..config.num_encoder_layers)
@@ -203,12 +206,7 @@ impl TransformerLm {
     ///
     /// Panics if the sequence is empty, longer than `max_seq_len`, or
     /// contains out-of-vocabulary ids.
-    pub fn logits(
-        &self,
-        g: &mut Graph,
-        bindings: &ParamBindings,
-        tokens: &[usize],
-    ) -> Var {
+    pub fn logits(&self, g: &mut Graph, bindings: &ParamBindings, tokens: &[usize]) -> Var {
         assert!(!tokens.is_empty(), "token sequence must not be empty");
         assert!(
             tokens.len() <= self.config.max_seq_len,
@@ -330,7 +328,9 @@ impl SequenceClassifier {
     ///
     /// Panics if the configuration is invalid or `num_outputs == 0`.
     pub fn new(config: TransformerConfig, num_outputs: usize, seed: u64) -> Self {
-        config.validate().expect("invalid transformer configuration");
+        config
+            .validate()
+            .expect("invalid transformer configuration");
         assert!(num_outputs > 0, "at least one output is required");
         let mut rng = StdRng::seed_from_u64(seed);
         let h = config.hidden_dim;
@@ -390,12 +390,7 @@ impl SequenceClassifier {
     /// # Panics
     ///
     /// Panics if `examples` is empty.
-    pub fn batch_loss(
-        &self,
-        g: &mut Graph,
-        bindings: &ParamBindings,
-        examples: &[Example],
-    ) -> Var {
+    pub fn batch_loss(&self, g: &mut Graph, bindings: &ParamBindings, examples: &[Example]) -> Var {
         assert!(!examples.is_empty(), "batch must not be empty");
         let mut losses = Vec::with_capacity(examples.len());
         for example in examples {

@@ -79,12 +79,7 @@ fn apply_gradients<M: Model>(
         .iter()
         .map(|name| graph.grad(bindings.leaf(name)).clone())
         .collect();
-    for (slot, ((name, param), grad)) in model
-        .parameters_mut()
-        .into_iter()
-        .zip(grads.into_iter())
-        .enumerate()
-    {
+    for (slot, ((name, param), grad)) in model.parameters_mut().into_iter().zip(grads).enumerate() {
         debug_assert_eq!(name, bindings.names()[slot]);
         optimizer.step(slot, param, &grad);
     }
@@ -174,7 +169,10 @@ pub fn train_classifier(
     options: &TrainOptions,
     masks: Option<&MaskSet>,
 ) -> TrainReport {
-    assert!(!dataset.train().is_empty(), "dataset has no training examples");
+    assert!(
+        !dataset.train().is_empty(),
+        "dataset has no training examples"
+    );
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut optimizer = Adam::new(options.learning_rate);
     let mut order: Vec<usize> = (0..dataset.train().len()).collect();

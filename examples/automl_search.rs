@@ -6,11 +6,11 @@
 //! This is the faithful-but-slow path; it takes a minute or two on a laptop.
 //! Run with `cargo run --release --example automl_search`.
 
+use rt3::core::SurrogateEvaluator;
 use rt3::core::{
     build_search_space, individually_train_lm, joint_train_lm, run_level1, run_level2_search,
     Rt3Config, TaskProfile, TrainedLmEvaluator,
 };
-use rt3::core::SurrogateEvaluator;
 use rt3::data::{CorpusConfig, MarkovCorpus};
 use rt3::pruning::combined_masks_for_model;
 use rt3::transformer::{Model, TrainOptions, TransformerConfig, TransformerLm};
@@ -39,7 +39,8 @@ fn main() {
     config.workload_config = TransformerConfig::paper_transformer(512);
 
     // Level 1 with a *trained* evaluator: the backbone accuracy is measured.
-    let mut evaluator = TrainedLmEvaluator::new(model.clone(), corpus.clone(), train_options.clone());
+    let mut evaluator =
+        TrainedLmEvaluator::new(model.clone(), corpus.clone(), train_options.clone());
     let backbone = run_level1(&model, &config, &mut evaluator);
     println!(
         "level 1: backbone sparsity {:.1}%, measured accuracy {:.2}% (unpruned {:.2}%)",
@@ -69,7 +70,12 @@ fn main() {
         .actions
         .iter()
         .map(|&a| {
-            combined_masks_for_model(&model, &backbone.masks, &prunable, &space.candidates()[a].set)
+            combined_masks_for_model(
+                &model,
+                &backbone.masks,
+                &prunable,
+                &space.candidates()[a].set,
+            )
         })
         .collect();
     let weights = vec![1.0 / level_masks.len() as f64; level_masks.len()];
@@ -85,11 +91,14 @@ fn main() {
     println!("upper bound (individually trained models):");
     for (i, score) in ub.iter().enumerate() {
         let gap = score - joint.per_level_scores[i];
-        println!("  M{}: {:.2}% (gap to joint: {:+.2}%)", i + 1, 100.0 * score, 100.0 * gap);
+        println!(
+            "  M{}: {:.2}% (gap to joint: {:+.2}%)",
+            i + 1,
+            100.0 * score,
+            100.0 * gap
+        );
     }
     println!();
-    println!(
-        "RT3 switches between these sub-models by swapping pattern sets (ms), while the"
-    );
+    println!("RT3 switches between these sub-models by swapping pattern sets (ms), while the");
     println!("upper bound must reload a full model (seconds) — see the table3_automl bench.");
 }

@@ -5,8 +5,8 @@
 //!
 //! Run with `cargo run --example battery_runtime`.
 
-use rt3::core::{Rt3Config, SurrogateEvaluator, TaskProfile};
 use rt3::core::{run_level1, AccuracyEvaluator, PruningSpec};
+use rt3::core::{Rt3Config, SurrogateEvaluator, TaskProfile};
 use rt3::hardware::{
     number_of_runs, simulate_battery_lifetime, simulate_fixed_level, ExecutionProfile,
     ModelWorkload, PerformancePredictor, PowerModel,

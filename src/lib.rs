@@ -12,7 +12,9 @@
 //! * [`pruning`] — block-structured pruning and pattern-space generation;
 //! * [`hardware`] — DVFS, power/battery, latency prediction, reconfiguration;
 //! * [`rl`] — the RNN policy controller;
-//! * [`core`] — the two-level RT3 framework, baselines and experiments.
+//! * [`core`] — the two-level RT3 framework, baselines and experiments;
+//! * [`runtime`] — the battery-aware online serving engine (model bank,
+//!   deadline scheduler, trace-driven scenarios).
 //!
 //! # Examples
 //!
@@ -27,7 +29,7 @@
 //! ```
 //!
 //! Runnable end-to-end examples live in `examples/` (`quickstart`,
-//! `battery_runtime`, `automl_search`, `ablation_study`).
+//! `battery_runtime`, `automl_search`, `ablation_study`, `serve_trace`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +39,7 @@ pub use rt3_data as data;
 pub use rt3_hardware as hardware;
 pub use rt3_pruning as pruning;
 pub use rt3_rl as rl;
+pub use rt3_runtime as runtime;
 pub use rt3_sparse as sparse;
 pub use rt3_tensor as tensor;
 pub use rt3_transformer as transformer;

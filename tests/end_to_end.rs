@@ -3,7 +3,7 @@
 
 use rt3::core::{
     build_search_space, compute_reward, joint_train_lm, run_level1, run_level2_search,
-    AccuracyEvaluator, PruningSpec, Rt3Config, RewardParams, SurrogateEvaluator, TaskProfile,
+    AccuracyEvaluator, PruningSpec, RewardParams, Rt3Config, SurrogateEvaluator, TaskProfile,
     TrainedLmEvaluator,
 };
 use rt3::data::{CorpusConfig, MarkovCorpus};
@@ -64,7 +64,10 @@ fn pipeline_masks_compose_and_predict_lower_latency_at_higher_sparsity() {
             SparseFormat::BlockPruned,
         );
         let latency = predictor.latency_ms(&workload, &level);
-        assert!(latency <= previous_latency + 1e-9, "latency must not grow with sparsity");
+        assert!(
+            latency <= previous_latency + 1e-9,
+            "latency must not grow with sparsity"
+        );
         previous_latency = latency;
     }
 }
@@ -117,8 +120,22 @@ fn trained_evaluator_and_joint_training_run_end_to_end() {
 #[test]
 fn reward_shapes_the_search_away_from_deadline_misses() {
     let params = RewardParams::uniform(3, 0.8, 0.3);
-    let miss = compute_reward(&params, 0.97, &[0.95, 0.9, 0.85], &[200.0, 90.0, 80.0], 0.5, 100.0);
-    let hit = compute_reward(&params, 0.97, &[0.95, 0.9, 0.85], &[95.0, 90.0, 80.0], 0.5, 100.0);
+    let miss = compute_reward(
+        &params,
+        0.97,
+        &[0.95, 0.9, 0.85],
+        &[200.0, 90.0, 80.0],
+        0.5,
+        100.0,
+    );
+    let hit = compute_reward(
+        &params,
+        0.97,
+        &[0.95, 0.9, 0.85],
+        &[95.0, 90.0, 80.0],
+        0.5,
+        100.0,
+    );
     assert!(hit.reward > miss.reward + 0.5);
 }
 

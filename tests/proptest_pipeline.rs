@@ -3,8 +3,8 @@
 //! configuration.
 
 use proptest::prelude::*;
-use rt3::core::{compute_reward, RewardParams, TaskProfile};
 use rt3::core::PruningSpec;
+use rt3::core::{compute_reward, RewardParams, TaskProfile};
 use rt3::hardware::{number_of_runs, ModelWorkload, PerformancePredictor, PowerModel, VfLevel};
 use rt3::pruning::{block_prune_matrix, BlockPruningConfig, PruneCriterion};
 use rt3::sparse::SparseFormat;

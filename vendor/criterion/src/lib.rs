@@ -1,0 +1,131 @@
+//! Offline stand-in for the subset of `criterion` the RT3 benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`] and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! No statistical analysis is performed: each benchmark is warmed up once,
+//! then timed over a fixed batch of iterations and reported as a mean
+//! nanoseconds-per-iteration line plus a machine-readable JSON line
+//! (`{"bench": ..., "mean_ns": ...}`), which is what the perf-trajectory
+//! tooling of this repository consumes (see `vendor/README.md`).
+
+use std::hint;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // one warm-up call keeps cold-start effects out of the measurement
+        hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iterations as f64;
+    }
+}
+
+fn run_one(id: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iterations: sample_size.max(1),
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    let mean = bencher.mean_ns;
+    let human = if mean >= 1e9 {
+        format!("{:.3} s", mean / 1e9)
+    } else if mean >= 1e6 {
+        format!("{:.3} ms", mean / 1e6)
+    } else if mean >= 1e3 {
+        format!("{:.3} us", mean / 1e3)
+    } else {
+        format!("{:.1} ns", mean)
+    };
+    println!(
+        "bench: {id:<60} {human}/iter over {} iters",
+        bencher.iterations
+    );
+    println!(
+        "{{\"bench\": \"{id}\", \"mean_ns\": {mean:.1}, \"iters\": {}}}",
+        bencher.iterations
+    );
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, 10, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for the subset of `proptest` the RT3 workspace uses:
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`collection::vec`], `Just`, `prop_oneof!`, `proptest!`,
+//! `prop_assert!`/`prop_assert_eq!` and [`test_runner::ProptestConfig`].
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case reports
+//! its case index and seed so it can be replayed, which is enough for the
+//! deterministic generators used here (see `vendor/README.md`).
+
+pub use rand;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of an associated type from a seeded RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Derives a second strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Boxes a strategy for use in heterogeneous collections (`prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn gen_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn gen_value(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Weighted choice among strategies of one value type (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut StdRng) -> T {
+            let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            let mut pick = rng.gen_range(0..total as u64) as u32;
+            for (w, s) in &self.arms {
+                if pick < *w {
+                    return s.gen_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(usize, u8, u16, u32, u64, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element counts accepted by [`vec`]: a fixed size or a range.
+    pub trait IntoSize {
+        /// Draws one concrete length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSize for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSize for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing vectors of values from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSize> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: IntoSize>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Mirrors `proptest::test_runner::Config` (the fields used here).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// with a formatted message instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({}:{}): left = {:?}, right = {:?}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({}:{}): left = {:?}, right = {:?}: {}",
+                stringify!($left), stringify!($right), file!(), line!(), l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Weighted choice among strategies, mirroring `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// Declares property tests, mirroring `proptest!`.
+///
+/// Each property runs `cases` times with a deterministic per-case seed; a
+/// failing case panics with its case index and seed for replay.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::rand::SeedableRng as _;
+                use $crate::strategy::Strategy as _;
+                let config = $cfg;
+                // stable per-property seed: hash of the property name
+                let mut property_seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).as_bytes() {
+                    property_seed ^= *b as u64;
+                    property_seed = property_seed.wrapping_mul(0x1_0000_01b3);
+                }
+                $(let $arg = $strat;)+
+                for case in 0..config.cases {
+                    let seed = property_seed ^ ((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    let mut rng = $crate::rand::rngs::StdRng::seed_from_u64(seed);
+                    $(let $arg = $arg.gen_value(&mut rng);)+
+                    let outcome = (|| -> ::std::result::Result<(), String> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name), case, config.cases, seed, message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

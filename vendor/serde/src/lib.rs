@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`: exposes the `Serialize`/`Deserialize` trait
+//! names and derive macros so the RT3 crates keep their derives, without
+//! pulling the real crate from a registry (see `vendor/README.md`).
+//!
+//! The derives expand to nothing, so derived types intentionally do **not**
+//! implement these traits; nothing in the workspace relies on them at run
+//! time.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

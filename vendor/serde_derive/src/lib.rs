@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace. The RT3 crates derive `Serialize`/`Deserialize` so their public
+//! types stay serde-ready, but nothing in the workspace serialises at run
+//! time, so an empty expansion is sufficient (see `vendor/README.md`).
+
+use proc_macro::TokenStream;
+
+/// Accepts the input and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts the input and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
