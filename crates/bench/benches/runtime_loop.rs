@@ -1,6 +1,7 @@
 //! Criterion bench: the online serving engine — steady-state serve
 //! throughput under the bursty-traffic scenario, pattern-set switch latency
-//! (cold bank rebuild), and raw worker-pool sparse-inference throughput.
+//! (cold bank rebuild), raw worker-pool sparse-inference throughput, and
+//! fleet routing over four simulated devices.
 //!
 //! Besides the per-benchmark timing lines, a `{"bench": "runtime_loop/...",
 //! ...}` JSON summary of the simulated serving metrics (miss rate, p95,
@@ -13,7 +14,10 @@ use rt3_core::{
 };
 use rt3_hardware::MemoryModel;
 use rt3_pruning::PatternSpace;
-use rt3_runtime::{pool, ModelBank, RuntimePolicy, Scenario, ServeConfig, ServeEngine};
+use rt3_runtime::{
+    pool, Fleet, FleetConfig, FleetScenario, ModelBank, RuntimePolicy, Scenario, ServeConfig,
+    ServeEngine,
+};
 use rt3_transformer::{MaskSet, TransformerConfig, TransformerLm};
 
 fn offline() -> (
@@ -87,6 +91,34 @@ fn bench_runtime(c: &mut Criterion) {
         b.iter(|| bank.rebuild_cold(0))
     });
 
+    // fleet cold start + serve: one 20-second slice of the heterogeneous
+    // cliff trace over four simulated devices. Each iteration pays the
+    // whole fleet lifecycle — four bank constructions with lazy sparse
+    // builds on first use, then routing, scheduling and simulated serving
+    // (real inference off) — i.e. what bringing a fleet up and playing a
+    // short trace costs, not routing overhead alone.
+    let mut fleet_slice = FleetScenario::heterogeneous_cliff();
+    if let Scenario::ConstantDrain { duration_s, .. } = &mut fleet_slice.arrivals {
+        *duration_s = 20;
+    }
+    group.bench_function("fleet_cold_serve_4dev_20s_slice", |b| {
+        b.iter(|| {
+            let fleet = Fleet::new(
+                &model,
+                masks.clone(),
+                &space,
+                &outcome,
+                &config,
+                &fleet_slice,
+                FleetConfig {
+                    real_inference: false,
+                    ..FleetConfig::default()
+                },
+            );
+            fleet.run()
+        })
+    });
+
     // raw worker-pool throughput on the sparsest banked variant
     group.bench_function("worker_pool_32_batches", |b| {
         let mut bank = ModelBank::new(
@@ -125,6 +157,35 @@ fn bench_runtime(c: &mut Criterion) {
         report.switches,
         report.switch_time_ms,
         report.total_energy_j(),
+    );
+
+    // fleet serving metrics on the full acceptance trace
+    let fleet_scenario = FleetScenario::heterogeneous_cliff();
+    let fleet = Fleet::new(
+        &model,
+        masks.clone(),
+        &space,
+        &outcome,
+        &config,
+        &fleet_scenario,
+        FleetConfig {
+            real_inference: false,
+            ..FleetConfig::default()
+        },
+    );
+    let fleet_report = fleet.run();
+    println!(
+        "{{\"bench\": \"runtime_loop/fleet_cliff_150s_simulated\", \"completed\": {}, \
+         \"miss_rate\": {:.4}, \"p95_ms\": {:.2}, \"switches\": {}, \"energy_j\": {:.2}, \
+         \"load_imbalance\": {:.3}, \"deaths\": {}, \"unroutable\": {}}}",
+        fleet_report.completed(),
+        fleet_report.miss_rate(),
+        fleet_report.latency_percentile_ms(0.95),
+        fleet_report.total_switches(),
+        fleet_report.total_energy_j(),
+        fleet_report.load_imbalance(),
+        fleet_report.deaths(),
+        fleet_report.unroutable,
     );
 }
 

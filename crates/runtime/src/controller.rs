@@ -266,4 +266,76 @@ mod tests {
         assert_eq!(c.decide(sample(1.0, 0.30)).level_pos, 1);
         assert_eq!(c.decide(sample(2.0, 0.80)).level_pos, 2);
     }
+
+    #[test]
+    fn exact_threshold_soc_is_inclusive_on_the_lower_level() {
+        // paper_default thresholds sit at 0.5 (normal) and 0.2 (saving);
+        // mode_for_battery treats them inclusively, so a state of charge of
+        // exactly 0.5 is already Normal, not Fast
+        let c = controller(0.0, 0.0);
+        assert_eq!(c.raw_target(0.5 + f64::EPSILON), 2);
+        assert_eq!(c.raw_target(0.5), 1);
+        assert_eq!(c.raw_target(0.2 + f64::EPSILON), 1);
+        assert_eq!(c.raw_target(0.2), 0);
+        // with no margin, a decision at exactly the threshold steps down
+        let mut c = controller(0.0, 0.0);
+        assert_eq!(c.decide(sample(0.0, 0.9)).level_pos, 2);
+        let d = c.decide(sample(1.0, 0.5));
+        assert_eq!(d.level_pos, 1, "exact threshold crossing takes effect");
+        assert!(d.switched);
+    }
+
+    #[test]
+    fn margin_confirms_a_crossing_exactly_at_soc_plus_margin() {
+        // the crossing is confirmed when the governor still picks the new
+        // level with the state of charge pushed back by the margin: at
+        // soc + margin == threshold the probe is *at* the threshold, which
+        // is inclusive, so the switch goes through — one epsilon above holds
+        let mut c = controller(0.0, 0.05);
+        assert_eq!(c.decide(sample(0.0, 0.9)).level_pos, 2);
+        let held = c.decide(sample(1.0, 0.45 + 1e-9));
+        assert_eq!(held.level_pos, 2, "probe above the threshold holds");
+        assert!(!held.switched);
+        let moved = c.decide(sample(2.0, 0.45));
+        assert_eq!(moved.level_pos, 1, "probe at the threshold confirms");
+        assert!(moved.switched);
+    }
+
+    #[test]
+    fn dwell_expiring_on_the_same_tick_as_a_thermal_clamp() {
+        let mut c = controller(1_000.0, 0.0);
+        assert_eq!(c.decide(sample(0.0, 0.9)).level_pos, 2);
+        // the dwell window ends exactly now (1000 - 0 >= 1000) while a
+        // thermal cap engages on the same tick: the battery move to l1 is
+        // permitted and the cap clamps it further down to l0
+        let d = c.decide(Telemetry {
+            now_ms: 1_000.0,
+            state_of_charge: 0.45,
+            thermal_cap: Some(0),
+        });
+        assert_eq!(d.level_pos, 0);
+        assert!(d.switched);
+        // the clamp restarted the dwell window: releasing the cap half a
+        // window later holds l0 even though the battery wants l1
+        let held = c.decide(sample(1_500.0, 0.45));
+        assert_eq!(held.level_pos, 0, "dwell suppresses the post-cap rebound");
+        assert!(!held.switched);
+        // at exact dwell expiry the suppressed move finally goes through
+        let released = c.decide(sample(2_000.0, 0.45));
+        assert_eq!(released.level_pos, 1);
+        assert!(released.switched);
+    }
+
+    #[test]
+    fn thermal_cap_clamps_the_very_first_decision() {
+        let mut c = controller(10_000.0, 0.05);
+        let d = c.decide(Telemetry {
+            now_ms: 0.0,
+            state_of_charge: 1.0,
+            thermal_cap: Some(1),
+        });
+        assert_eq!(d.level_pos, 1, "first activation honours the cap");
+        assert!(d.switched);
+        assert_eq!(c.switches(), 1);
+    }
 }

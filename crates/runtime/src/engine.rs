@@ -15,13 +15,19 @@ use crate::controller::{HysteresisConfig, RuntimeController, Telemetry};
 use crate::pool;
 use crate::report::{ServeReport, WindowReport};
 use crate::scenario::Scenario;
-use crate::scheduler::{DeadlineScheduler, Request, SchedulerConfig, ServiceModel};
+use crate::scheduler::{DeadlineScheduler, RejectReason, Request, SchedulerConfig, ServiceModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rt3_core::{Rt3Config, SearchOutcome};
-use rt3_hardware::{Battery, MemoryModel, PowerModel};
+use rt3_hardware::{Battery, MemoryModel, PowerModel, VfLevel};
 use rt3_pruning::PatternSpace;
 use rt3_transformer::Model;
+
+/// Length of one simulation window in (simulated) seconds; scenario rates
+/// are per-second, so power (W) converts to energy (J) via this factor.
+pub(crate) const WINDOW_S: f64 = 1.0;
+/// Length of one simulation window in milliseconds.
+pub(crate) const WINDOW_MS: f64 = WINDOW_S * 1_000.0;
 
 /// How the engine picks V/F levels at run time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,7 +120,9 @@ impl ServeConfig {
 
 /// The online serving engine.
 pub struct ServeEngine<'m, M: Model> {
-    bank: ModelBank<'m, M>,
+    /// Moved into the per-run [`DeviceSim`] and restored afterwards, so the
+    /// bank stays warm across runs; always `Some` between calls.
+    bank: Option<ModelBank<'m, M>>,
     rt3: Rt3Config,
     service: ServiceModel,
     power: PowerModel,
@@ -171,7 +179,7 @@ impl<'m, M: Model> ServeEngine<'m, M> {
             batch_alpha: config.batch_alpha,
         };
         Self {
-            bank,
+            bank: Some(bank),
             rt3,
             service,
             power: PowerModel::cortex_a7(),
@@ -181,7 +189,7 @@ impl<'m, M: Model> ServeEngine<'m, M> {
 
     /// The model bank (for inspection).
     pub fn bank(&self) -> &ModelBank<'m, M> {
-        &self.bank
+        self.bank.as_ref().expect("bank is restored after each run")
     }
 
     /// The service model used for deadline accounting.
@@ -192,121 +200,48 @@ impl<'m, M: Model> ServeEngine<'m, M> {
     /// Single-request service time at a governor level position, using the
     /// *achieved* sparsity of the banked variant.
     pub fn level_latency_ms(&mut self, level_pos: usize) -> f64 {
-        let sparsity = self.bank.get(level_pos).sparsity;
+        let bank = self.bank.as_mut().expect("bank is restored after each run");
+        let sparsity = bank.get(level_pos).sparsity;
         let level = self.rt3.governor.levels()[level_pos];
         self.service.base_latency_ms(sparsity, &level)
     }
 
     /// Plays `scenario` to completion and reports the outcome.
     pub fn run(&mut self, scenario: &Scenario) -> ServeReport {
-        let mut controller =
-            RuntimeController::new(self.rt3.governor.clone(), self.config.hysteresis);
-        let mut scheduler = DeadlineScheduler::new(self.config.scheduler);
-        let mut battery = Battery::new(self.config.battery_capacity_j);
+        let mut device = DeviceSim::new(
+            self.bank.take().expect("bank is restored after each run"),
+            RuntimeController::new(self.rt3.governor.clone(), self.config.hysteresis),
+            DeadlineScheduler::new(self.config.scheduler),
+            Battery::new(self.config.battery_capacity_j),
+            self.config.policy,
+            self.service.clone(),
+            self.power,
+            self.rt3.governor.levels().to_vec(),
+            self.config.deadline_budget_ms,
+            self.config.real_inference,
+            scenario.duration_s(),
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let levels = self.rt3.governor.levels().to_vec();
-
-        let mut windows = Vec::with_capacity(scenario.duration_s() as usize);
-        let mut latencies: Vec<f64> = Vec::new();
-        let mut runs_per_level = vec![0u64; levels.len()];
-        let mut arrivals_total = 0u64;
-        let mut completed = 0u64;
-        let mut missed = 0u64;
-        let mut switches = 0u64;
-        let mut switch_time_ms = 0.0f64;
-        let mut inference_energy_j = 0.0f64;
-        let mut background_energy_j = 0.0f64;
-        let mut died_at_s: Option<u32> = None;
-        let mut dropped_dead = 0u64;
-        let mut checksum = 0.0f64;
-        let mut real_batches = 0u64;
         let mut next_id = 0u64;
-        let mut active_level: Option<usize> = None;
-        let mut active_base_latency_ms = 0.0f64;
 
-        // the simulation advances in fixed one-second windows; scenario rates
-        // are per-second, so power (W) converts to energy (J) via WINDOW_S
-        const WINDOW_S: f64 = 1.0;
-        const WINDOW_MS: f64 = WINDOW_S * 1_000.0;
         for t_s in 0..scenario.duration_s() {
             let now_ms = t_s as f64 * WINDOW_MS;
             let window_end_ms = now_ms + WINDOW_MS;
 
-            // battery events that occur regardless of serving state
-            if let Some(drop) = scenario.battery_cliff(t_s) {
-                let loss = drop * battery.capacity_j();
-                let drained = battery.drain(loss.min(battery.remaining_j()));
-                debug_assert!(drained);
-            }
-            battery.charge(scenario.charge_w(t_s) * WINDOW_S);
-
+            let serving = device.begin_window(
+                t_s,
+                now_ms,
+                scenario.battery_cliff(t_s),
+                scenario.charge_w(t_s) * WINDOW_S,
+                scenario.thermal_cap(t_s),
+            );
             let arrival_offsets = scenario.arrivals_in_second(t_s, &mut rng);
-            arrivals_total += arrival_offsets.len() as u64;
 
-            if battery.is_empty() && died_at_s.is_none() {
-                died_at_s = Some(t_s);
-            }
-            if died_at_s.is_some() {
-                // device off: queued and incoming requests are lost
-                dropped_dead += scheduler.drop_all() + arrival_offsets.len() as u64;
-                windows.push(WindowReport {
-                    t_s,
-                    level_pos: None,
-                    state_of_charge: battery.state_of_charge(),
-                    arrivals: arrival_offsets.len() as u64,
-                    completed: 0,
-                    missed: 0,
-                    rejected: 0,
-                    switched: false,
-                });
+            if !serving {
+                device.record_dead_window(t_s, arrival_offsets.len() as u64);
                 continue;
             }
 
-            // 1. telemetry + level decision
-            let decision = match self.config.policy {
-                RuntimePolicy::Adaptive => controller.decide(Telemetry {
-                    now_ms,
-                    state_of_charge: battery.state_of_charge(),
-                    thermal_cap: scenario.thermal_cap(t_s),
-                }),
-                RuntimePolicy::FixedLevel(pos) => {
-                    // the thermal cap is hardware-mandated even for the
-                    // baseline; it keeps its (dense-for-that-level) model
-                    let capped = scenario.thermal_cap(t_s).map_or(pos, |cap| pos.min(cap));
-                    crate::controller::LevelDecision {
-                        level_pos: capped,
-                        switched: active_level != Some(capped),
-                    }
-                }
-            };
-            let level_pos = decision.level_pos;
-            let level = levels[level_pos];
-
-            // 2. pattern-set switch: charge time to the workers and traffic
-            //    energy to the battery (the very first activation is a model
-            //    load, not a run-time switch, and is not counted). Sparsity
-            //    and base latency only change on a switch, so they are cached
-            //    here rather than recomputed per window/batch.
-            let counted_switch = active_level.is_some() && active_level != Some(level_pos);
-            if active_level != Some(level_pos) {
-                let cost = self.bank.switch_cost(level_pos);
-                let sparsity = self.bank.get(level_pos).sparsity; // lazy build
-                active_base_latency_ms = self.service.base_latency_ms(sparsity, &level);
-                if counted_switch {
-                    switches += 1;
-                    switch_time_ms += cost.time_ms;
-                    scheduler.block_workers_until(now_ms + cost.time_ms);
-                    let switch_energy = self.power.power_w(&level) * cost.time_ms / 1_000.0;
-                    inference_energy_j += switch_energy;
-                    if !battery.drain(switch_energy) {
-                        battery.drain(battery.remaining_j());
-                    }
-                }
-                active_level = Some(level_pos);
-            }
-            let base_latency = active_base_latency_ms;
-
-            // 3. admit this window's arrivals
             let mut rejected_window = 0u64;
             for offset in &arrival_offsets {
                 let arrival_ms = now_ms + offset;
@@ -316,103 +251,380 @@ impl<'m, M: Model> ServeEngine<'m, M> {
                     deadline_ms: arrival_ms + self.config.deadline_budget_ms,
                 };
                 next_id += 1;
-                if scheduler.submit(request, base_latency).is_err() {
+                if device.try_admit(request).is_err() {
                     rejected_window += 1;
                 }
             }
 
-            // 4. dispatch everything that can start inside this window
-            let completions = scheduler.dispatch(window_end_ms, level_pos, |batch| {
-                self.service.service_from_base_ms(base_latency, batch)
-            });
-
-            // 5. charge inference energy: each worker is one core of the
-            //    cluster, so a batch costs (cluster power / workers) × time
-            let core_power_w = self.power.power_w(&level) / self.config.scheduler.workers as f64;
-            let mut window_missed = 0u64;
-            for completion in &completions {
-                let service_share =
-                    (completion.finish_ms - completion.start_ms) / completion.batch as f64;
-                let energy = core_power_w * service_share / 1_000.0;
-                inference_energy_j += energy;
-                if !battery.drain(energy) {
-                    battery.drain(battery.remaining_j());
-                }
-                completed += 1;
-                runs_per_level[completion.level_pos] += 1;
-                latencies.push(completion.latency_ms());
-                if !completion.met_deadline {
-                    window_missed += 1;
-                }
-            }
-            missed += window_missed;
-            // one pool batch per dispatched micro-batch: the scheduler pushes
-            // a batch's completions consecutively and stamps each with the
-            // batch size, so stepping by that size recovers the batches even
-            // when several start at the same instant on different workers
-            let mut batch_sizes: Vec<usize> = Vec::new();
-            let mut i = 0;
-            while i < completions.len() {
-                let batch = completions[i].batch;
-                batch_sizes.push(batch);
-                i += batch;
-            }
-
-            // 6. replay the dispatched batches as real sparse inference
-            if self.config.real_inference && !batch_sizes.is_empty() {
-                let outcome = pool::run_batches(
-                    self.bank.get(level_pos),
-                    &batch_sizes,
-                    self.config.scheduler.workers,
-                );
-                checksum += outcome.checksum;
-                real_batches += outcome.batches;
-            }
-
-            // 7. background drain
-            let background_j = scenario.background_w(t_s) * WINDOW_S;
-            background_energy_j += background_j;
-            if !battery.drain(background_j) {
-                battery.drain(battery.remaining_j());
-            }
-
-            windows.push(WindowReport {
+            device.end_window(
                 t_s,
-                level_pos: Some(level_pos),
-                state_of_charge: battery.state_of_charge(),
-                arrivals: arrival_offsets.len() as u64,
-                completed: completions.len() as u64,
-                missed: window_missed,
-                rejected: rejected_window,
-                switched: counted_switch,
-            });
+                window_end_ms,
+                arrival_offsets.len() as u64,
+                rejected_window,
+                scenario.background_w(t_s) * WINDOW_S,
+            );
         }
 
+        let (report, bank) = device.into_report(
+            scenario.name().to_string(),
+            self.config.policy.label(&self.rt3),
+        );
+        self.bank = Some(bank);
+        report
+    }
+}
+
+/// One simulated device stepped window-by-window: its battery, controller,
+/// scheduler and model bank, plus the serve-report accumulators.
+///
+/// [`ServeEngine::run`] drives a single `DeviceSim` from a [`Scenario`];
+/// [`crate::Fleet`] drives several of them from a
+/// [`crate::FleetScenario`], with arrivals assigned by the router instead of
+/// taken straight from the trace.
+pub(crate) struct DeviceSim<'m, M: Model> {
+    bank: ModelBank<'m, M>,
+    controller: RuntimeController,
+    scheduler: DeadlineScheduler,
+    battery: Battery,
+    policy: RuntimePolicy,
+    service: ServiceModel,
+    power: PowerModel,
+    levels: Vec<VfLevel>,
+    deadline_budget_ms: f64,
+    real_inference: bool,
+    workers: usize,
+    active_level: Option<usize>,
+    active_base_latency_ms: f64,
+    /// Whether the current window's [`DeviceSim::begin_window`] performed a
+    /// counted pattern-set switch (recorded on the window report).
+    last_switched: bool,
+    // report accumulators
+    windows: Vec<WindowReport>,
+    latencies: Vec<f64>,
+    runs_per_level: Vec<u64>,
+    arrivals_total: u64,
+    completed: u64,
+    missed: u64,
+    switches: u64,
+    switch_time_ms: f64,
+    inference_energy_j: f64,
+    background_energy_j: f64,
+    died_at_s: Option<u32>,
+    dropped_dead: u64,
+    checksum: f64,
+    real_batches: u64,
+}
+
+impl<'m, M: Model> DeviceSim<'m, M> {
+    /// Builds a device around pre-constructed components. `battery` may be
+    /// partially drained (fleet devices start at heterogeneous charge).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        bank: ModelBank<'m, M>,
+        controller: RuntimeController,
+        scheduler: DeadlineScheduler,
+        battery: Battery,
+        policy: RuntimePolicy,
+        service: ServiceModel,
+        power: PowerModel,
+        levels: Vec<VfLevel>,
+        deadline_budget_ms: f64,
+        real_inference: bool,
+        duration_hint_s: u32,
+    ) -> Self {
+        let workers = scheduler.workers();
+        let level_count = levels.len();
+        Self {
+            bank,
+            controller,
+            scheduler,
+            battery,
+            policy,
+            service,
+            power,
+            levels,
+            deadline_budget_ms,
+            real_inference,
+            workers,
+            active_level: None,
+            active_base_latency_ms: 0.0,
+            last_switched: false,
+            windows: Vec::with_capacity(duration_hint_s as usize),
+            latencies: Vec::new(),
+            runs_per_level: vec![0; level_count],
+            arrivals_total: 0,
+            completed: 0,
+            missed: 0,
+            switches: 0,
+            switch_time_ms: 0.0,
+            inference_energy_j: 0.0,
+            background_energy_j: 0.0,
+            died_at_s: None,
+            dropped_dead: 0,
+            checksum: 0.0,
+            real_batches: 0,
+        }
+    }
+
+    /// Whether the device's battery has died at some earlier window.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.died_at_s.is_some()
+    }
+
+    /// Battery state of charge in `[0, 1]`.
+    pub(crate) fn state_of_charge(&self) -> f64 {
+        self.battery.state_of_charge()
+    }
+
+    /// Governor level position in effect for the current window.
+    pub(crate) fn active_level(&self) -> Option<usize> {
+        self.active_level
+    }
+
+    /// Number of governor levels the device serves.
+    pub(crate) fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Currently queued (admitted but unstarted) requests.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.scheduler.queue_len()
+    }
+
+    /// Bound on the device's request queue.
+    pub(crate) fn queue_capacity(&self) -> usize {
+        self.scheduler.queue_capacity()
+    }
+
+    /// Single-request latency a request admitted at `arrival_ms` is predicted
+    /// to see: wait until a worker frees up, then one base-latency service at
+    /// the active level.
+    pub(crate) fn predicted_latency_ms(&self, arrival_ms: f64) -> f64 {
+        let start = self.scheduler.earliest_free_ms().max(arrival_ms);
+        (start - arrival_ms) + self.active_base_latency_ms
+    }
+
+    /// Per-request deadline budget the device was configured with.
+    pub(crate) fn deadline_budget_ms(&self) -> f64 {
+        self.deadline_budget_ms
+    }
+
+    /// Battery events, death bookkeeping, level decision and pattern-set
+    /// switch for the window starting at `t_s`. Returns `false` when the
+    /// device is (now) dead; the caller must then finish the window with
+    /// [`DeviceSim::record_dead_window`] instead of admitting traffic.
+    pub(crate) fn begin_window(
+        &mut self,
+        t_s: u32,
+        now_ms: f64,
+        battery_cliff: Option<f64>,
+        charge_j: f64,
+        thermal_cap: Option<usize>,
+    ) -> bool {
+        // battery events occur regardless of serving state
+        if let Some(drop) = battery_cliff {
+            let loss = drop * self.battery.capacity_j();
+            let drained = self.battery.drain(loss.min(self.battery.remaining_j()));
+            debug_assert!(drained);
+        }
+        self.battery.charge(charge_j);
+
+        if self.battery.is_empty() && self.died_at_s.is_none() {
+            self.died_at_s = Some(t_s);
+        }
+        if self.died_at_s.is_some() {
+            return false;
+        }
+
+        // 1. telemetry + level decision
+        let decision = match self.policy {
+            RuntimePolicy::Adaptive => self.controller.decide(Telemetry {
+                now_ms,
+                state_of_charge: self.battery.state_of_charge(),
+                thermal_cap,
+            }),
+            RuntimePolicy::FixedLevel(pos) => {
+                // the thermal cap is hardware-mandated even for the
+                // baseline; it keeps its (dense-for-that-level) model
+                let capped = thermal_cap.map_or(pos, |cap| pos.min(cap));
+                crate::controller::LevelDecision {
+                    level_pos: capped,
+                    switched: self.active_level != Some(capped),
+                }
+            }
+        };
+        let level_pos = decision.level_pos;
+        let level = self.levels[level_pos];
+
+        // 2. pattern-set switch: charge time to the workers and traffic
+        //    energy to the battery (the very first activation is a model
+        //    load, not a run-time switch, and is not counted). Sparsity
+        //    and base latency only change on a switch, so they are cached
+        //    here rather than recomputed per window/batch.
+        let counted_switch = self.active_level.is_some() && self.active_level != Some(level_pos);
+        if self.active_level != Some(level_pos) {
+            let cost = self.bank.switch_cost(level_pos);
+            let sparsity = self.bank.get(level_pos).sparsity; // lazy build
+            self.active_base_latency_ms = self.service.base_latency_ms(sparsity, &level);
+            if counted_switch {
+                self.switches += 1;
+                self.switch_time_ms += cost.time_ms;
+                self.scheduler.block_workers_until(now_ms + cost.time_ms);
+                let switch_energy = self.power.power_w(&level) * cost.time_ms / 1_000.0;
+                self.inference_energy_j += switch_energy;
+                if !self.battery.drain(switch_energy) {
+                    self.battery.drain(self.battery.remaining_j());
+                }
+            }
+            self.active_level = Some(level_pos);
+        }
+        self.last_switched = counted_switch;
+        true
+    }
+
+    /// Admission control for one routed/arriving request, using the active
+    /// level's base latency as the service estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's [`RejectReason`] when the request is turned
+    /// away (bounded queue full, or the deadline is already unmeetable).
+    pub(crate) fn try_admit(&mut self, request: Request) -> Result<(), RejectReason> {
+        self.scheduler.submit(request, self.active_base_latency_ms)
+    }
+
+    /// Finishes a window on a dead device: queued and incoming requests are
+    /// lost, and a dead window report is recorded.
+    pub(crate) fn record_dead_window(&mut self, t_s: u32, arrivals: u64) {
+        self.arrivals_total += arrivals;
+        self.dropped_dead += self.scheduler.drop_all() + arrivals;
+        self.windows.push(WindowReport {
+            t_s,
+            level_pos: None,
+            state_of_charge: self.battery.state_of_charge(),
+            arrivals,
+            completed: 0,
+            missed: 0,
+            rejected: 0,
+            switched: false,
+        });
+    }
+
+    /// Dispatches, charges energy, replays real inference and records the
+    /// window report for a live window started with
+    /// [`DeviceSim::begin_window`].
+    pub(crate) fn end_window(
+        &mut self,
+        t_s: u32,
+        window_end_ms: f64,
+        arrivals: u64,
+        rejected_window: u64,
+        background_j: f64,
+    ) {
+        self.arrivals_total += arrivals;
+        let level_pos = self.active_level.expect("window began on a live device");
+        let level = self.levels[level_pos];
+        let base_latency = self.active_base_latency_ms;
+
+        // 4. dispatch everything that can start inside this window
+        let service = &self.service;
+        let completions = self.scheduler.dispatch(window_end_ms, level_pos, |batch| {
+            service.service_from_base_ms(base_latency, batch)
+        });
+
+        // 5. charge inference energy: each worker is one core of the
+        //    cluster, so a batch costs (cluster power / workers) × time
+        let core_power_w = self.power.power_w(&level) / self.workers as f64;
+        let mut window_missed = 0u64;
+        for completion in &completions {
+            let service_share =
+                (completion.finish_ms - completion.start_ms) / completion.batch as f64;
+            let energy = core_power_w * service_share / 1_000.0;
+            self.inference_energy_j += energy;
+            if !self.battery.drain(energy) {
+                self.battery.drain(self.battery.remaining_j());
+            }
+            self.completed += 1;
+            self.runs_per_level[completion.level_pos] += 1;
+            self.latencies.push(completion.latency_ms());
+            if !completion.met_deadline {
+                window_missed += 1;
+            }
+        }
+        self.missed += window_missed;
+        // one pool batch per dispatched micro-batch: the scheduler pushes
+        // a batch's completions consecutively and stamps each with the
+        // batch size, so stepping by that size recovers the batches even
+        // when several start at the same instant on different workers
+        let mut batch_sizes: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < completions.len() {
+            let batch = completions[i].batch;
+            batch_sizes.push(batch);
+            i += batch;
+        }
+
+        // 6. replay the dispatched batches as real sparse inference
+        if self.real_inference && !batch_sizes.is_empty() {
+            let outcome = pool::run_batches(self.bank.get(level_pos), &batch_sizes, self.workers);
+            self.checksum += outcome.checksum;
+            self.real_batches += outcome.batches;
+        }
+
+        // 7. background drain
+        self.background_energy_j += background_j;
+        if !self.battery.drain(background_j) {
+            self.battery.drain(self.battery.remaining_j());
+        }
+
+        self.windows.push(WindowReport {
+            t_s,
+            level_pos: Some(level_pos),
+            state_of_charge: self.battery.state_of_charge(),
+            arrivals,
+            completed: completions.len() as u64,
+            missed: window_missed,
+            rejected: rejected_window,
+            switched: self.last_switched,
+        });
+    }
+
+    /// Finalises the run: drops leftover queue entries, sorts latencies and
+    /// assembles the [`ServeReport`]. Returns the bank alongside so callers
+    /// that own it (the single-device engine) can keep it warm across runs.
+    pub(crate) fn into_report(
+        mut self,
+        scenario: String,
+        policy: String,
+    ) -> (ServeReport, ModelBank<'m, M>) {
         // requests still queued when the trace ends count as misses, but are
         // reported separately from admission rejections
-        let leftover = scheduler.drop_all();
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let rejected = scheduler.rejected_queue_full() + scheduler.rejected_certain_miss();
-        ServeReport {
-            scenario: scenario.name().to_string(),
-            policy: self.config.policy.label(&self.rt3),
-            windows,
-            arrivals: arrivals_total,
-            completed,
-            missed_deadline: missed,
+        let leftover = self.scheduler.drop_all();
+        self.latencies
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rejected =
+            self.scheduler.rejected_queue_full() + self.scheduler.rejected_certain_miss();
+        let report = ServeReport {
+            scenario,
+            policy,
+            windows: self.windows,
+            arrivals: self.arrivals_total,
+            completed: self.completed,
+            missed_deadline: self.missed,
             rejected,
-            dropped_dead_battery: dropped_dead,
+            dropped_dead_battery: self.dropped_dead,
             dropped_at_trace_end: leftover,
-            latencies_ms: latencies,
-            switches,
-            switch_time_ms,
-            inference_energy_j,
-            background_energy_j,
-            runs_per_level,
-            final_state_of_charge: battery.state_of_charge(),
-            died_at_s,
-            inference_checksum: checksum,
-            real_batches,
-        }
+            latencies_ms: self.latencies,
+            switches: self.switches,
+            switch_time_ms: self.switch_time_ms,
+            inference_energy_j: self.inference_energy_j,
+            background_energy_j: self.background_energy_j,
+            runs_per_level: self.runs_per_level,
+            final_state_of_charge: self.battery.state_of_charge(),
+            died_at_s: self.died_at_s,
+            inference_checksum: self.checksum,
+            real_batches: self.real_batches,
+        };
+        (report, self.bank)
     }
 }

@@ -18,10 +18,14 @@
 //! * [`pool`] — a real multi-threaded worker pool that replays every
 //!   dispatched micro-batch as actual pattern-pruned sparse matmuls.
 //! * [`Scenario`] — trace-driven workloads (constant drain, bursty traffic,
-//!   cliff discharge, charge-while-serving, thermal cap).
+//!   cliff discharge, charge-while-serving, thermal cap, diurnal day curve).
 //! * [`ServeEngine`] — the event loop tying it together, producing a
 //!   [`ServeReport`] with p50/p95/p99 latency, deadline-miss rate, energy
 //!   and switch counts.
+//! * [`Fleet`] / [`Router`] — cross-device sharding: N simulated devices
+//!   (each with its own battery, controller, bank and scheduler) behind a
+//!   battery-headroom router with failover, played from a
+//!   [`FleetScenario`] into a [`FleetReport`].
 //!
 //! # Examples
 //!
@@ -60,6 +64,7 @@
 mod bank;
 mod controller;
 mod engine;
+mod fleet;
 pub mod pool;
 mod report;
 mod scenario;
@@ -68,8 +73,11 @@ mod scheduler;
 pub use bank::{BankStats, BankedModel, ModelBank};
 pub use controller::{HysteresisConfig, LevelDecision, RuntimeController, Telemetry};
 pub use engine::{RuntimePolicy, ServeConfig, ServeEngine};
-pub use report::{ServeReport, WindowReport};
-pub use scenario::Scenario;
+pub use fleet::{
+    DeviceSnapshot, Fleet, FleetConfig, Router, RouterConfig, RoutingPolicy, RoutingWeights,
+};
+pub use report::{FleetReport, ServeReport, WindowReport};
+pub use scenario::{DeviceProfile, FleetScenario, Scenario};
 pub use scheduler::{
     Completion, DeadlineScheduler, RejectReason, Request, SchedulerConfig, ServiceModel,
 };
@@ -244,6 +252,102 @@ mod tests {
             }
         }
         assert!(report.completed > 0);
+    }
+
+    fn fleet_config() -> FleetConfig {
+        FleetConfig {
+            real_inference: false,
+            ..FleetConfig::default()
+        }
+    }
+
+    fn run_fleet(policy: RoutingPolicy, scenario: &FleetScenario) -> FleetReport {
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let fleet_cfg = FleetConfig {
+            router: RouterConfig {
+                policy,
+                weights: RoutingWeights::default(),
+            },
+            ..fleet_config()
+        };
+        let fleet = Fleet::new(
+            &model, masks, &space, &outcome, &config, scenario, fleet_cfg,
+        );
+        fleet.run()
+    }
+
+    #[test]
+    fn fleet_serves_the_heterogeneous_cliff_trace_end_to_end() {
+        let scenario = FleetScenario::heterogeneous_cliff();
+        let report = run_fleet(RoutingPolicy::BatteryAware, &scenario);
+        assert_eq!(report.devices.len(), 4);
+        assert_eq!(report.routing, "battery-aware");
+        assert!(report.arrivals > 0);
+        assert!(report.completed() > 0);
+        // every device carries the full window trace, named by its profile
+        for (device, profile) in report.devices.iter().zip(&scenario.devices) {
+            assert_eq!(device.scenario, profile.name);
+            assert_eq!(device.windows.len(), scenario.duration_s() as usize);
+        }
+        // routed traffic + unroutable covers every arrival
+        let routed: u64 = report.devices.iter().map(|d| d.arrivals).sum();
+        assert_eq!(routed + report.unroutable, report.arrivals);
+        assert!(report.load_imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let scenario = FleetScenario::heterogeneous_cliff();
+        let a = run_fleet(RoutingPolicy::BatteryAware, &scenario);
+        let b = run_fleet(RoutingPolicy::BatteryAware, &scenario);
+        assert_eq!(a, b, "same seed and trace must replay identically");
+    }
+
+    #[test]
+    fn dead_fleet_devices_receive_no_traffic() {
+        // a tiny battery guarantees at least one death under steady load
+        let mut scenario = FleetScenario::heterogeneous_cliff();
+        scenario.devices[0].battery_capacity_j = 2.0;
+        scenario.devices[0].cliff = None;
+        let report = run_fleet(RoutingPolicy::BatteryAware, &scenario);
+        let d0 = &report.devices[0];
+        let died_at = d0.died_at_s.expect("a 2 J battery cannot survive");
+        for w in &d0.windows {
+            if w.t_s >= died_at {
+                assert_eq!(
+                    w.arrivals, 0,
+                    "router must not send traffic to a dead device (window {})",
+                    w.t_s
+                );
+            }
+        }
+        // the fleet as a whole keeps serving through the death
+        assert!(report.completed() > 0);
+        assert!(report.deaths() >= 1);
+    }
+
+    #[test]
+    fn diurnal_fleet_trace_swings_load_across_the_day() {
+        let scenario = FleetScenario::diurnal(5); // 120 s compressed day
+        let report = run_fleet(RoutingPolicy::BatteryAware, &scenario);
+        assert_eq!(report.scenario, "fleet-diurnal-24h");
+        assert!(report.arrivals > 0);
+        // midday windows must carry more fleet traffic than the midnight edge
+        let window_total = |t: u32| -> u64 {
+            report
+                .devices
+                .iter()
+                .flat_map(|d| &d.windows)
+                .filter(|w| w.t_s == t)
+                .map(|w| w.arrivals)
+                .sum()
+        };
+        let trough: u64 = (0..5).map(window_total).sum();
+        let peak: u64 = (58..63).map(window_total).sum();
+        assert!(
+            peak > trough,
+            "noon traffic ({peak}) must exceed midnight traffic ({trough})"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Serve-run reporting: per-window traces plus aggregate latency, deadline
-//! and energy statistics.
+//! and energy statistics, and fleet-level aggregation ([`FleetReport`])
+//! across several simulated devices.
 
 /// Per-window slice of a serve run (windows are one simulated second).
 #[derive(Debug, Clone, PartialEq)]
@@ -83,14 +84,7 @@ impl ServeReport {
     /// Latency percentile over completions, `q` in `[0, 1]`. Returns 0 with
     /// no completions.
     pub fn latency_percentile_ms(&self, q: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // nearest-rank: the smallest latency with at least q of the mass at
-        // or below it
-        let rank = (q * self.latencies_ms.len() as f64).ceil() as usize;
-        self.latencies_ms[rank.max(1) - 1]
+        nearest_rank(&self.latencies_ms, q)
     }
 
     /// Median latency in milliseconds.
@@ -145,6 +139,165 @@ impl ServeReport {
     }
 }
 
+/// Nearest-rank percentile over ascending `sorted` values: the smallest
+/// value with at least `q` of the mass at or below it. Returns 0 when
+/// empty.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Aggregate outcome of one fleet run: per-device [`ServeReport`]s plus the
+/// router's view of the trace.
+///
+/// Per-device `rejected` counts include failed failover *attempts* (a
+/// request bounced off one device and admitted by another is rejected on
+/// the first and completed on the second), so the fleet miss rate is
+/// computed from terminal outcomes — completions that missed, drops and
+/// unroutable requests — never by summing per-device rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet scenario name.
+    pub scenario: String,
+    /// Routing policy label ("battery-aware", "round-robin" or "sticky").
+    pub routing: String,
+    /// Requests that arrived at the router over the trace.
+    pub arrivals: u64,
+    /// Requests no device would admit (all dead or all rejecting).
+    pub unroutable: u64,
+    /// Per-device outcomes; `ServeReport::arrivals` is the traffic
+    /// *admitted by* that device (failed failover attempts count only in
+    /// its `rejected`), and `ServeReport::scenario` carries the device name
+    /// from the fleet scenario's profile.
+    pub devices: Vec<ServeReport>,
+}
+
+impl FleetReport {
+    /// Requests served to completion across the fleet.
+    pub fn completed(&self) -> u64 {
+        self.devices.iter().map(|d| d.completed).sum()
+    }
+
+    /// Completions that missed their deadline, across the fleet.
+    pub fn missed_deadline(&self) -> u64 {
+        self.devices.iter().map(|d| d.missed_deadline).sum()
+    }
+
+    /// Requests lost after admission: queued on a device whose battery died,
+    /// or still queued when the trace ended.
+    pub fn dropped(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.dropped_dead_battery + d.dropped_at_trace_end)
+            .sum()
+    }
+
+    /// Fraction of all router arrivals that failed: deadline misses, drops
+    /// on admitted requests, and unroutable requests.
+    pub fn miss_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        (self.missed_deadline() + self.dropped() + self.unroutable) as f64 / self.arrivals as f64
+    }
+
+    /// Total energy drawn from every battery, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.devices.iter().map(|d| d.total_energy_j()).sum()
+    }
+
+    /// Pattern-set/V-F switches across the fleet.
+    pub fn total_switches(&self) -> u64 {
+        self.devices.iter().map(|d| d.switches).sum()
+    }
+
+    /// Devices whose battery died during the trace.
+    pub fn deaths(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.died_at_s.is_some())
+            .count()
+    }
+
+    /// Load imbalance: the busiest device's routed traffic over the fleet
+    /// mean (1.0 = perfectly balanced; `round-robin` sits near 1, `sticky`
+    /// near the device count). Returns 0 with no routed traffic.
+    pub fn load_imbalance(&self) -> f64 {
+        let routed: Vec<u64> = self.devices.iter().map(|d| d.arrivals).collect();
+        let total: u64 = routed.iter().sum();
+        if total == 0 || routed.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / routed.len() as f64;
+        *routed.iter().max().expect("non-empty") as f64 / mean
+    }
+
+    /// Latency percentile over all fleet completions, `q` in `[0, 1]`.
+    pub fn latency_percentile_ms(&self, q: f64) -> f64 {
+        let mut all: Vec<f64> = self
+            .devices
+            .iter()
+            .flat_map(|d| d.latencies_ms.iter().copied())
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        nearest_rank(&all, q)
+    }
+
+    /// One-line fleet summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<22} {:<14} served {:>6}/{:<6} miss {:>5.1}% p95 {:>7.1} ms switches {:>3} \
+             energy {:>7.1} J imbalance {:>4.2} deaths {}",
+            self.scenario,
+            self.routing,
+            self.completed(),
+            self.arrivals,
+            100.0 * self.miss_rate(),
+            self.latency_percentile_ms(0.95),
+            self.total_switches(),
+            self.total_energy_j(),
+            self.load_imbalance(),
+            self.deaths(),
+        )
+    }
+
+    /// Per-device summary lines (device name, routed share, outcome). The
+    /// per-device miss rate counts terminal outcomes only (deadline misses
+    /// and drops over admitted traffic) — `ServeReport::miss_rate` would
+    /// also count failover attempts that were served elsewhere.
+    pub fn device_summaries(&self) -> Vec<String> {
+        self.devices
+            .iter()
+            .map(|d| {
+                let failed = d.missed_deadline + d.dropped_dead_battery + d.dropped_at_trace_end;
+                let miss = if d.arrivals == 0 {
+                    0.0
+                } else {
+                    failed as f64 / d.arrivals as f64
+                };
+                format!(
+                    "  {:<14} routed {:>6} served {:>6} miss {:>5.1}% switches {:>3} \
+                     final soc {:>4.0}%{}",
+                    d.scenario,
+                    d.arrivals,
+                    d.completed,
+                    100.0 * miss,
+                    d.switches,
+                    100.0 * d.final_state_of_charge,
+                    match d.died_at_s {
+                        Some(t) => format!(" DIED at {t} s"),
+                        None => String::new(),
+                    }
+                )
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +341,52 @@ mod tests {
         assert_eq!(r.p95_ms(), 95.0);
         assert_eq!(r.p99_ms(), 99.0);
         assert_eq!(report(Vec::new()).p95_ms(), 0.0);
+    }
+
+    #[test]
+    fn fleet_aggregates_sum_devices_and_count_unroutable() {
+        let mut d0 = report(vec![40.0; 8]); // arrivals 10, missed 1, rejected 1
+        d0.scenario = "d0".into();
+        let mut d1 = report(vec![80.0; 8]);
+        d1.scenario = "d1".into();
+        d1.arrivals = 30; // skewed routing
+        d1.dropped_dead_battery = 2;
+        d1.died_at_s = Some(9);
+        let fleet = FleetReport {
+            scenario: "fleet-test".into(),
+            routing: "battery-aware".into(),
+            arrivals: 42,
+            unroutable: 2,
+            devices: vec![d0, d1],
+        };
+        assert_eq!(fleet.completed(), 16);
+        assert_eq!(fleet.missed_deadline(), 2);
+        assert_eq!(fleet.dropped(), 2);
+        // (2 missed + 2 dropped + 2 unroutable) / 42 — device `rejected`
+        // counters are failover attempts and must NOT be double counted
+        assert!((fleet.miss_rate() - 6.0 / 42.0).abs() < 1e-12);
+        assert_eq!(fleet.total_switches(), 4);
+        assert!((fleet.total_energy_j() - 15.0).abs() < 1e-12);
+        assert_eq!(fleet.deaths(), 1);
+        // routed 10 vs 30: max 30 over mean 20
+        assert!((fleet.load_imbalance() - 1.5).abs() < 1e-12);
+        assert_eq!(fleet.latency_percentile_ms(0.5), 40.0);
+        assert_eq!(fleet.latency_percentile_ms(1.0), 80.0);
+        assert!(fleet.summary().contains("battery-aware"));
+        assert_eq!(fleet.device_summaries().len(), 2);
+    }
+
+    #[test]
+    fn empty_fleet_rates_are_zero() {
+        let fleet = FleetReport {
+            scenario: "empty".into(),
+            routing: "round-robin".into(),
+            arrivals: 0,
+            unroutable: 0,
+            devices: Vec::new(),
+        };
+        assert_eq!(fleet.miss_rate(), 0.0);
+        assert_eq!(fleet.load_imbalance(), 0.0);
+        assert_eq!(fleet.latency_percentile_ms(0.95), 0.0);
     }
 }

@@ -2,6 +2,11 @@
 //! request traffic, background power draw, charging, battery events and
 //! thermal caps — so a new workload is one enum value away.
 //!
+//! Fleet traces ([`FleetScenario`]) layer per-device events on top: one
+//! fleet-wide arrival curve feeds the router, while each
+//! [`DeviceProfile`] carries that device's battery size, initial charge,
+//! charger, thermal-cap window and cliff.
+//!
 //! Traffic is generated deterministically from the engine seed: each window
 //! draws `rate × window` arrivals (with the fractional part resolved by a
 //! Bernoulli draw) at uniform offsets, which approximates a Poisson process
@@ -80,6 +85,23 @@ pub enum Scenario {
         /// Maximum allowed level position while capped (0 = lowest).
         cap_level_pos: usize,
     },
+    /// A diurnal arrival curve: the rate swings sinusoidally from a
+    /// night-time trough (at `t = 0`) to a midday peak (at `period_s / 2`)
+    /// and back, one full cycle per `period_s`. With `period_s = 86_400`
+    /// this is a 24 h day; tests compress the same shape into shorter
+    /// periods.
+    Diurnal {
+        /// Trace length in seconds.
+        duration_s: u32,
+        /// Arrivals per second at the trough of the curve.
+        trough_rps: f64,
+        /// Arrivals per second at the peak of the curve.
+        peak_rps: f64,
+        /// Seconds per full day cycle (86 400 for real time).
+        period_s: u32,
+        /// Non-inference device power draw in watts.
+        background_w: f64,
+    },
 }
 
 impl Scenario {
@@ -105,6 +127,7 @@ impl Scenario {
             Scenario::CliffDischarge { .. } => "cliff-discharge",
             Scenario::ChargeWhileServing { .. } => "charge-while-serving",
             Scenario::ThermalCap { .. } => "thermal-cap",
+            Scenario::Diurnal { .. } => "diurnal",
         }
     }
 
@@ -115,7 +138,8 @@ impl Scenario {
             | Scenario::BurstyTraffic { duration_s, .. }
             | Scenario::CliffDischarge { duration_s, .. }
             | Scenario::ChargeWhileServing { duration_s, .. }
-            | Scenario::ThermalCap { duration_s, .. } => duration_s,
+            | Scenario::ThermalCap { duration_s, .. }
+            | Scenario::Diurnal { duration_s, .. } => duration_s,
         }
     }
 
@@ -139,6 +163,19 @@ impl Scenario {
                     base_rps
                 }
             }
+            Scenario::Diurnal {
+                trough_rps,
+                peak_rps,
+                period_s,
+                ..
+            } => {
+                if period_s == 0 {
+                    return trough_rps;
+                }
+                let phase = (t_s % period_s) as f64 / period_s as f64;
+                let swing = 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+                trough_rps + (peak_rps - trough_rps) * swing
+            }
         }
     }
 
@@ -149,7 +186,8 @@ impl Scenario {
             | Scenario::BurstyTraffic { background_w, .. }
             | Scenario::CliffDischarge { background_w, .. }
             | Scenario::ChargeWhileServing { background_w, .. }
-            | Scenario::ThermalCap { background_w, .. } => background_w,
+            | Scenario::ThermalCap { background_w, .. }
+            | Scenario::Diurnal { background_w, .. } => background_w,
         }
     }
 
@@ -204,6 +242,220 @@ impl Scenario {
         let mut offsets: Vec<f64> = (0..count).map(|_| rng.gen_range(0.0..1_000.0)).collect();
         offsets.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         offsets
+    }
+}
+
+/// One simulated device of a fleet: its battery and the local events
+/// (charger, thermal cap, cliff) that hit *this* device, independent of the
+/// fleet-wide arrival curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable device name used in reports.
+    pub name: String,
+    /// Battery capacity in joules.
+    pub battery_capacity_j: f64,
+    /// Initial state of charge in `(0, 1]` (fleets are heterogeneous: some
+    /// devices start the trace half empty).
+    pub initial_soc: f64,
+    /// Charging power in watts once the charger is plugged, 0 for none.
+    pub charge_w: f64,
+    /// Second at which this device's charger is plugged in.
+    pub charge_from_s: u32,
+    /// Thermal cap on this device as `(from_s, until_s, max_level_pos)`.
+    pub thermal_cap: Option<(u32, u32, usize)>,
+    /// Instant battery loss as `(at_s, fraction_of_capacity)`.
+    pub cliff: Option<(u32, f64)>,
+}
+
+impl DeviceProfile {
+    /// A device with no charger, cap or cliff.
+    pub fn new(name: &str, battery_capacity_j: f64, initial_soc: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            battery_capacity_j,
+            initial_soc,
+            charge_w: 0.0,
+            charge_from_s: 0,
+            thermal_cap: None,
+            cliff: None,
+        }
+    }
+
+    /// Plugs a charger of `charge_w` watts in at `from_s`.
+    pub fn with_charger(mut self, from_s: u32, charge_w: f64) -> Self {
+        self.charge_from_s = from_s;
+        self.charge_w = charge_w;
+        self
+    }
+
+    /// Caps the device at `max_level_pos` during `[from_s, until_s)`.
+    pub fn with_thermal_cap(mut self, from_s: u32, until_s: u32, max_level_pos: usize) -> Self {
+        self.thermal_cap = Some((from_s, until_s, max_level_pos));
+        self
+    }
+
+    /// Drops `fraction` of the battery capacity instantly at `at_s`.
+    pub fn with_cliff(mut self, at_s: u32, fraction: f64) -> Self {
+        self.cliff = Some((at_s, fraction));
+        self
+    }
+
+    /// Charging power flowing into this device's battery at `t_s`, in watts.
+    pub fn charge_w_at(&self, t_s: u32) -> f64 {
+        if self.charge_w > 0.0 && t_s >= self.charge_from_s {
+            self.charge_w
+        } else {
+            0.0
+        }
+    }
+
+    /// Thermal cap on the level position in effect at `t_s`, if any.
+    pub fn thermal_cap_at(&self, t_s: u32) -> Option<usize> {
+        match self.thermal_cap {
+            Some((from_s, until_s, pos)) if (from_s..until_s).contains(&t_s) => Some(pos),
+            _ => None,
+        }
+    }
+
+    /// Instantaneous battery loss (fraction of capacity) during `t_s`.
+    pub fn battery_cliff_at(&self, t_s: u32) -> Option<f64> {
+        match self.cliff {
+            Some((at_s, drop)) if t_s == at_s => Some(drop),
+            _ => None,
+        }
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.battery_capacity_j > 0.0 && self.battery_capacity_j.is_finite()) {
+            return Err(format!(
+                "{}: battery_capacity_j must be positive",
+                self.name
+            ));
+        }
+        if !(self.initial_soc > 0.0 && self.initial_soc <= 1.0) {
+            return Err(format!("{}: initial_soc must be in (0, 1]", self.name));
+        }
+        if !(self.charge_w >= 0.0 && self.charge_w.is_finite()) {
+            return Err(format!("{}: charge_w must be non-negative", self.name));
+        }
+        if let Some((at_s, drop)) = self.cliff {
+            let _ = at_s;
+            if !(0.0..=1.0).contains(&drop) {
+                return Err(format!("{}: cliff drop must be in [0, 1]", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fleet trace: one fleet-wide arrival curve (requests hit the *router*,
+/// not a particular device) plus per-device profiles for the batteries and
+/// local events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScenario {
+    /// Trace name for reports.
+    pub name: String,
+    /// Fleet-wide arrival curve; only its rate, duration and background
+    /// draw are used (per-device events come from the profiles).
+    pub arrivals: Scenario,
+    /// One profile per simulated device.
+    pub devices: Vec<DeviceProfile>,
+}
+
+impl FleetScenario {
+    /// The acceptance fleet trace: four heterogeneous devices under steady
+    /// traffic, where battery headroom — not queue depth alone — decides
+    /// who should serve:
+    ///
+    /// * `d0-cliff` starts full but loses 50% of its capacity in a
+    ///   voltage-sag cliff at 40 s;
+    /// * `d1-low` starts at 45% charge;
+    /// * `d2-charging` starts at 60% but sits on a 2.5 W charger the whole
+    ///   time;
+    /// * `d3-throttled` starts full (on a slightly smaller battery) yet is
+    ///   thermally capped to the lowest level during `[30, 90)` s.
+    ///
+    /// The numbers are tuned as a set with `examples/serve_fleet.rs`
+    /// (72 req/s over 150 s, two workers per device, 250 ms deadline): the
+    /// fleet has enough total energy to survive the trace only if routing
+    /// leans on the charger and rations the batteries, which is what makes
+    /// battery-headroom routing strictly beat round-robin and sticky there.
+    pub fn heterogeneous_cliff() -> Self {
+        let duration_s = 150;
+        Self {
+            name: "fleet-cliff-discharge".to_string(),
+            arrivals: Scenario::ConstantDrain {
+                duration_s,
+                rps: 72.0,
+                background_w: 0.03,
+            },
+            devices: vec![
+                DeviceProfile::new("d0-cliff", 30.0, 1.0).with_cliff(40, 0.5),
+                DeviceProfile::new("d1-low", 30.0, 0.45),
+                DeviceProfile::new("d2-charging", 30.0, 0.60).with_charger(0, 2.5),
+                DeviceProfile::new("d3-throttled", 26.0, 1.0).with_thermal_cap(30, 90, 0),
+            ],
+        }
+    }
+
+    /// A compressed 24 h diurnal trace over the same heterogeneous fleet:
+    /// `seconds_per_hour` simulated seconds stand in for each hour of the
+    /// day, so `seconds_per_hour = 3600` replays a real day and smaller
+    /// values keep tests fast. The charger plugs in "overnight" (the last
+    /// quarter of the day) and the thermal cap hits in the "afternoon".
+    pub fn diurnal(seconds_per_hour: u32) -> Self {
+        let period_s = 24 * seconds_per_hour;
+        let hour = |h: u32| h * seconds_per_hour;
+        Self {
+            name: "fleet-diurnal-24h".to_string(),
+            arrivals: Scenario::Diurnal {
+                duration_s: period_s,
+                trough_rps: 6.0,
+                peak_rps: 48.0,
+                period_s,
+                background_w: 0.08,
+            },
+            devices: vec![
+                DeviceProfile::new("d0-cliff", 30.0, 0.9).with_cliff(hour(10), 0.4),
+                DeviceProfile::new("d1-low", 30.0, 0.45),
+                DeviceProfile::new("d2-charging", 30.0, 0.7).with_charger(hour(18), 2.0),
+                DeviceProfile::new("d3-throttled", 30.0, 1.0).with_thermal_cap(
+                    hour(12),
+                    hour(16),
+                    0,
+                ),
+            ],
+        }
+    }
+
+    /// Number of devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Trace length in seconds.
+    pub fn duration_s(&self) -> u32 {
+        self.arrivals.duration_s()
+    }
+
+    /// Validates the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devices.is_empty() {
+            return Err("a fleet needs at least one device".into());
+        }
+        for device in &self.devices {
+            device.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -277,5 +529,70 @@ mod tests {
         assert_eq!(cap.thermal_cap(9), None);
         assert_eq!(cap.thermal_cap(10), Some(0));
         assert_eq!(cap.thermal_cap(40), None);
+    }
+
+    #[test]
+    fn diurnal_rate_troughs_at_midnight_and_peaks_at_noon() {
+        let day = Scenario::Diurnal {
+            duration_s: 240,
+            trough_rps: 4.0,
+            peak_rps: 40.0,
+            period_s: 240,
+            background_w: 0.1,
+        };
+        assert!((day.rate_at(0) - 4.0).abs() < 1e-9, "midnight trough");
+        assert!((day.rate_at(120) - 40.0).abs() < 1e-9, "noon peak");
+        let morning = day.rate_at(60);
+        assert!((morning - 22.0).abs() < 1e-9, "quarter-day midpoint");
+        // the curve is periodic and symmetric around noon
+        assert!((day.rate_at(180) - morning).abs() < 1e-9);
+        assert_eq!(day.name(), "diurnal");
+    }
+
+    #[test]
+    fn device_profile_events_fire_at_their_windows() {
+        let d = DeviceProfile::new("d", 20.0, 0.8)
+            .with_charger(30, 2.0)
+            .with_thermal_cap(10, 20, 0)
+            .with_cliff(15, 0.3);
+        assert!(d.validate().is_ok());
+        assert_eq!(d.charge_w_at(29), 0.0);
+        assert_eq!(d.charge_w_at(30), 2.0);
+        assert_eq!(d.thermal_cap_at(9), None);
+        assert_eq!(d.thermal_cap_at(10), Some(0));
+        assert_eq!(d.thermal_cap_at(20), None);
+        assert_eq!(d.battery_cliff_at(14), None);
+        assert_eq!(d.battery_cliff_at(15), Some(0.3));
+    }
+
+    #[test]
+    fn fleet_scenarios_validate_and_cover_the_issue_shapes() {
+        let cliff = FleetScenario::heterogeneous_cliff();
+        assert!(cliff.validate().is_ok());
+        assert_eq!(cliff.device_count(), 4);
+        // heterogeneous initial charge, one charger, a stagger of caps and
+        // a cliff — the shapes the fleet acceptance trace must exercise
+        assert!(cliff.devices.iter().any(|d| d.initial_soc < 0.5));
+        assert!(cliff.devices.iter().any(|d| d.charge_w > 0.0));
+        assert!(cliff.devices.iter().any(|d| d.thermal_cap.is_some()));
+        assert!(cliff.devices.iter().any(|d| d.cliff.is_some()));
+
+        let day = FleetScenario::diurnal(10);
+        assert!(day.validate().is_ok());
+        assert_eq!(day.duration_s(), 240);
+        assert!(matches!(day.arrivals, Scenario::Diurnal { .. }));
+
+        let empty = FleetScenario {
+            name: "empty".into(),
+            arrivals: Scenario::default_bursty(),
+            devices: Vec::new(),
+        };
+        assert!(empty.validate().is_err());
+        let bad = FleetScenario {
+            name: "bad".into(),
+            arrivals: Scenario::default_bursty(),
+            devices: vec![DeviceProfile::new("d", 10.0, 0.0)],
+        };
+        assert!(bad.validate().is_err());
     }
 }

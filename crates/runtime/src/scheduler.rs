@@ -184,6 +184,16 @@ impl DeadlineScheduler {
         self.queue.len()
     }
 
+    /// Number of simulated workers.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Bound on queued (admitted but unstarted) requests.
+    pub fn queue_capacity(&self) -> usize {
+        self.config.queue_capacity
+    }
+
     /// Requests rejected because the queue was full.
     pub fn rejected_queue_full(&self) -> u64 {
         self.rejected_queue_full

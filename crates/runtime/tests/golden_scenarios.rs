@@ -1,0 +1,207 @@
+//! Golden regression suite: each of the five single-device scenarios is
+//! played with a fixed seed and its [`ServeReport`] aggregates are pinned
+//! against checked-in expected values, so a refactor of the engine, the
+//! scheduler or the controller cannot silently change serving behaviour.
+//!
+//! The values depend only on deterministic simulation (the vendored
+//! splitmix64 `StdRng` and IEEE-754 arithmetic), so they are stable across
+//! machines. If an *intentional* behaviour change moves them, re-run with
+//! `GOLDEN_PRINT=1` (`GOLDEN_PRINT=1 cargo test -p rt3-runtime --test
+//! golden_scenarios -- --nocapture`) and update the table — in the same
+//! change that explains why.
+
+use rt3_core::{
+    build_search_space, run_level1, run_level2_search, Rt3Config, SearchOutcome,
+    SurrogateEvaluator, TaskProfile,
+};
+use rt3_pruning::PatternSpace;
+use rt3_runtime::{Scenario, ServeConfig, ServeEngine, ServeReport};
+use rt3_transformer::{MaskSet, TransformerConfig, TransformerLm};
+
+/// The pinned aggregates of one scenario run.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    scenario: &'static str,
+    arrivals: u64,
+    completed: u64,
+    missed_deadline: u64,
+    rejected: u64,
+    dropped_dead_battery: u64,
+    dropped_at_trace_end: u64,
+    switches: u64,
+    died_at_s: Option<u32>,
+}
+
+impl Golden {
+    fn of(report: &ServeReport) -> Self {
+        Self {
+            scenario: match report.scenario.as_str() {
+                "constant-drain" => "constant-drain",
+                "bursty-traffic" => "bursty-traffic",
+                "cliff-discharge" => "cliff-discharge",
+                "charge-while-serving" => "charge-while-serving",
+                "thermal-cap" => "thermal-cap",
+                other => panic!("unexpected scenario {other}"),
+            },
+            arrivals: report.arrivals,
+            completed: report.completed,
+            missed_deadline: report.missed_deadline,
+            rejected: report.rejected,
+            dropped_dead_battery: report.dropped_dead_battery,
+            dropped_at_trace_end: report.dropped_at_trace_end,
+            switches: report.switches,
+            died_at_s: report.died_at_s,
+        }
+    }
+}
+
+fn offline_artifacts() -> (
+    TransformerLm,
+    MaskSet,
+    PatternSpace,
+    SearchOutcome,
+    Rt3Config,
+) {
+    let model = TransformerLm::new(TransformerConfig::tiny(32), 13);
+    let config = Rt3Config::tiny_test();
+    let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+    let backbone = run_level1(&model, &config, &mut evaluator);
+    let space = build_search_space(&model, &backbone, &config);
+    let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+    (model, backbone.masks, space, outcome, config)
+}
+
+/// The five fixed traces of the regression suite; every parameter is pinned
+/// on purpose — do not "tidy" them.
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::ConstantDrain {
+            duration_s: 60,
+            rps: 4.0,
+            background_w: 0.2,
+        },
+        Scenario::default_bursty(),
+        Scenario::CliffDischarge {
+            duration_s: 60,
+            rps: 4.0,
+            background_w: 0.2,
+            cliff_at_s: 25,
+            cliff_drop: 0.6,
+        },
+        Scenario::ChargeWhileServing {
+            duration_s: 60,
+            rps: 4.0,
+            background_w: 0.2,
+            charge_from_s: 30,
+            charge_w: 2.0,
+        },
+        Scenario::ThermalCap {
+            duration_s: 60,
+            rps: 4.0,
+            background_w: 0.2,
+            cap_from_s: 10,
+            cap_until_s: 45,
+            cap_level_pos: 0,
+        },
+    ]
+}
+
+/// Expected aggregates, in `scenarios()` order. Captured from the seed
+/// behaviour of the engine (PR 1) via `GOLDEN_PRINT=1`.
+fn expected() -> Vec<Golden> {
+    vec![
+        Golden {
+            scenario: "constant-drain",
+            arrivals: 240,
+            completed: 240,
+            missed_deadline: 0,
+            rejected: 0,
+            dropped_dead_battery: 0,
+            dropped_at_trace_end: 0,
+            switches: 1,
+            died_at_s: None,
+        },
+        Golden {
+            scenario: "bursty-traffic",
+            arrivals: 3600,
+            completed: 3600,
+            missed_deadline: 0,
+            rejected: 0,
+            dropped_dead_battery: 0,
+            dropped_at_trace_end: 0,
+            switches: 0,
+            died_at_s: None,
+        },
+        Golden {
+            scenario: "cliff-discharge",
+            arrivals: 240,
+            completed: 160,
+            missed_deadline: 0,
+            rejected: 0,
+            dropped_dead_battery: 80,
+            dropped_at_trace_end: 0,
+            switches: 1,
+            died_at_s: Some(40),
+        },
+        Golden {
+            scenario: "charge-while-serving",
+            arrivals: 240,
+            completed: 240,
+            missed_deadline: 0,
+            rejected: 0,
+            dropped_dead_battery: 0,
+            dropped_at_trace_end: 0,
+            switches: 0,
+            died_at_s: None,
+        },
+        Golden {
+            scenario: "thermal-cap",
+            arrivals: 240,
+            completed: 240,
+            missed_deadline: 0,
+            rejected: 0,
+            dropped_dead_battery: 0,
+            dropped_at_trace_end: 0,
+            switches: 3,
+            died_at_s: None,
+        },
+    ]
+}
+
+#[test]
+fn five_scenarios_match_their_golden_aggregates() {
+    let (model, masks, space, outcome, config) = offline_artifacts();
+    let expected = expected();
+    let mut actual = Vec::new();
+    for scenario in scenarios() {
+        let serve = ServeConfig {
+            battery_capacity_j: 20.0,
+            real_inference: false,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::new(
+            &model,
+            masks.clone(),
+            &space,
+            &outcome,
+            config.clone(),
+            serve,
+        );
+        let report = engine.run(&scenario);
+        actual.push(Golden::of(&report));
+    }
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        for golden in &actual {
+            println!("{golden:?}");
+        }
+        return;
+    }
+    for (actual, expected) in actual.iter().zip(&expected) {
+        assert_eq!(
+            actual, expected,
+            "scenario {} drifted from its golden aggregates — if the change \
+             is intentional, re-capture with GOLDEN_PRINT=1",
+            expected.scenario
+        );
+    }
+}

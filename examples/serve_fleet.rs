@@ -1,0 +1,155 @@
+//! Fleet-scale sharded serving: the offline RT3 search runs once, then a
+//! fleet of four simulated devices — heterogeneous initial charge, one on a
+//! charger, a staggered thermal cap and a mid-trace battery cliff — serves
+//! one arrival stream under three routing policies. Battery-headroom
+//! routing must beat both the round-robin and the sticky baseline on
+//! deadline-miss rate: the router shifts load away from the cliff-hit and
+//! low-charge devices while they still have enough battery to finish what
+//! they already accepted.
+//!
+//! Run with `cargo run --release --example serve_fleet`.
+
+use rt3::core::{
+    build_search_space, run_level1, run_level2_search, Rt3Config, SurrogateEvaluator, TaskProfile,
+};
+use rt3::runtime::{
+    Fleet, FleetConfig, FleetReport, FleetScenario, RouterConfig, RoutingPolicy, RoutingWeights,
+};
+use rt3::transformer::{TransformerConfig, TransformerLm};
+
+fn main() {
+    // ---- offline: the two-level RT3 search (shared by every device) ------
+    let mut config = Rt3Config::wikitext_default();
+    config.timing_constraint_ms = 115.0;
+    config.episodes = 16;
+    let model = TransformerLm::new(TransformerConfig::paper_transformer(256), 11);
+    let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+    println!("offline search: Level 1 (block pruning) + Level 2 (pattern sets per V/F level)...");
+    let backbone = run_level1(&model, &config, &mut evaluator);
+    let space = build_search_space(&model, &backbone, &config);
+    let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+    println!(
+        "  backbone sparsity {:.0}%, feasible: {}",
+        100.0 * backbone.sparsity,
+        outcome.best.is_some(),
+    );
+
+    // ---- online: the heterogeneous cliff-discharge fleet trace -----------
+    let scenario = FleetScenario::heterogeneous_cliff();
+    println!(
+        "\nscenario: {} ({} devices, {} s, fleet arrivals {} req/s)",
+        scenario.name,
+        scenario.device_count(),
+        scenario.duration_s(),
+        scenario.arrivals.rate_at(0),
+    );
+    for device in &scenario.devices {
+        println!(
+            "  {:<14} battery {:>4.0} J at {:>3.0}%{}{}{}",
+            device.name,
+            device.battery_capacity_j,
+            100.0 * device.initial_soc,
+            match device.cliff {
+                Some((at_s, drop)) => format!(", cliff −{:.0}% at {at_s} s", 100.0 * drop),
+                None => String::new(),
+            },
+            if device.charge_w > 0.0 {
+                format!(
+                    ", charger {:.1} W from {} s",
+                    device.charge_w, device.charge_from_s
+                )
+            } else {
+                String::new()
+            },
+            match device.thermal_cap {
+                Some((from_s, until_s, pos)) =>
+                    format!(", thermal cap to l-pos {pos} during [{from_s}, {until_s}) s"),
+                None => String::new(),
+            },
+        );
+    }
+
+    let serve = |policy: RoutingPolicy| -> FleetReport {
+        let fleet_config = FleetConfig {
+            router: RouterConfig {
+                policy,
+                weights: RoutingWeights::default(),
+            },
+            // two cores per device and a tight deadline: the fleet only has
+            // headroom while most devices are alive, so routing that burns a
+            // battery down early pays for it in misses later
+            deadline_budget_ms: 250.0,
+            scheduler: rt3::runtime::SchedulerConfig {
+                queue_capacity: 64,
+                max_batch: 4,
+                workers: 2,
+            },
+            ..FleetConfig::default()
+        };
+        let fleet = Fleet::new(
+            &model,
+            backbone.masks.clone(),
+            &space,
+            &outcome,
+            &config,
+            &scenario,
+            fleet_config,
+        );
+        fleet.run()
+    };
+
+    let battery_aware = serve(RoutingPolicy::BatteryAware);
+    let round_robin = serve(RoutingPolicy::RoundRobin);
+    let sticky = serve(RoutingPolicy::Sticky);
+
+    println!("\nper-device outcome (battery-aware):");
+    for line in battery_aware.device_summaries() {
+        println!("{line}");
+    }
+    println!("per-device outcome (round-robin):");
+    for line in round_robin.device_summaries() {
+        println!("{line}");
+    }
+    println!("per-device outcome (sticky):");
+    for line in sticky.device_summaries() {
+        println!("{line}");
+    }
+
+    println!("\nrouting        served   miss-rate  p95      switches  energy    imbalance  deaths");
+    for report in [&battery_aware, &round_robin, &sticky] {
+        println!(
+            "{:<13} {:>6}   {:>7.2}%  {:>6.1}  {:>8}  {:>6.1} J  {:>8.2}  {:>6}",
+            report.routing,
+            report.completed(),
+            100.0 * report.miss_rate(),
+            report.latency_percentile_ms(0.95),
+            report.total_switches(),
+            report.total_energy_j(),
+            report.load_imbalance(),
+            report.deaths(),
+        );
+    }
+
+    println!(
+        "\nbattery-aware miss rate {:.2}% vs round-robin {:.2}% vs sticky {:.2}%",
+        100.0 * battery_aware.miss_rate(),
+        100.0 * round_robin.miss_rate(),
+        100.0 * sticky.miss_rate(),
+    );
+    println!(
+        "real sparse inference (battery-aware): {} micro-batches across the fleet",
+        battery_aware
+            .devices
+            .iter()
+            .map(|d| d.real_batches)
+            .sum::<u64>(),
+    );
+    assert!(
+        battery_aware.miss_rate() < round_robin.miss_rate(),
+        "battery-headroom routing must beat round-robin on deadline-miss rate"
+    );
+    assert!(
+        battery_aware.miss_rate() < sticky.miss_rate(),
+        "battery-headroom routing must beat sticky routing on deadline-miss rate"
+    );
+}

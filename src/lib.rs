@@ -14,7 +14,8 @@
 //! * [`rl`] — the RNN policy controller;
 //! * [`core`] — the two-level RT3 framework, baselines and experiments;
 //! * [`runtime`] — the battery-aware online serving engine (model bank,
-//!   deadline scheduler, trace-driven scenarios).
+//!   deadline scheduler, trace-driven scenarios) and the fleet layer
+//!   (battery-headroom routing across simulated devices).
 //!
 //! # Examples
 //!
@@ -29,7 +30,8 @@
 //! ```
 //!
 //! Runnable end-to-end examples live in `examples/` (`quickstart`,
-//! `battery_runtime`, `automl_search`, `ablation_study`, `serve_trace`).
+//! `battery_runtime`, `automl_search`, `ablation_study`, `serve_trace`,
+//! `serve_fleet`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
