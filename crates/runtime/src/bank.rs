@@ -11,7 +11,7 @@
 //! [`MemoryModel::pattern_switch_cost`] charges for.
 
 use rt3_hardware::{MemoryModel, SwitchCost};
-use rt3_pruning::{combined_masks_for_model, CandidatePatternSet, PatternSpace};
+use rt3_pruning::{combined_masks_and_weights, CandidatePatternSet, PatternSpace};
 use rt3_sparse::{PatternPrunedMatrix, PatternSet};
 use rt3_tensor::Matrix;
 use rt3_transformer::{MaskSet, Model};
@@ -31,22 +31,57 @@ pub struct BankedModel {
     pub weights: Vec<(String, PatternPrunedMatrix)>,
 }
 
+/// Reusable activation/output buffers for [`BankedModel::infer_with`], so a
+/// steady-state worker allocates its matmul operands once and then serves
+/// every micro-batch allocation-free (the compiled-plan kernel itself never
+/// allocates — see `rt3_sparse::PatternPlan::matmul_into`).
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    rhs: Vec<f32>,
+    out: Vec<f32>,
+}
+
+impl InferScratch {
+    /// Empty scratch; buffers grow to the largest weight on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl BankedModel {
     /// Runs one real sparse inference batch through every banked weight:
     /// each pattern-pruned matrix multiplies a deterministic activation
     /// block with `batch` columns. Returns a checksum of the outputs so the
     /// work cannot be optimised away and runs can be compared bit-for-bit.
     pub fn infer(&self, batch: usize) -> f64 {
+        self.infer_with(batch, &mut InferScratch::new())
+    }
+
+    /// [`Self::infer`] with caller-owned buffers: identical checksum (same
+    /// activations, same kernel, same summation order), but the rhs/output
+    /// matrices are carved out of `scratch` instead of freshly allocated,
+    /// which is what the worker pool runs per micro-batch.
+    pub fn infer_with(&self, batch: usize, scratch: &mut InferScratch) -> f64 {
+        let width = batch.max(1);
         let mut checksum = 0.0f64;
         for (idx, (_, weight)) in self.weights.iter().enumerate() {
             let cols = weight.cols();
-            let rhs = Matrix::from_fn(cols, batch.max(1), |i, j| {
-                // cheap deterministic activations, distinct per weight
-                let x = (i * 31 + j * 17 + idx * 7) % 13;
+            let mut rhs_buf = std::mem::take(&mut scratch.rhs);
+            rhs_buf.clear();
+            // cheap deterministic activations, distinct per weight; same
+            // values (row-major) as the original `Matrix::from_fn` fill
+            rhs_buf.extend((0..cols * width).map(|k| {
+                let x = ((k / width) * 31 + (k % width) * 17 + idx * 7) % 13;
                 x as f32 / 13.0 - 0.5
-            });
-            let out = weight.matmul_dense(&rhs);
+            }));
+            let rhs = Matrix::from_vec(cols, width, rhs_buf);
+            let mut out_buf = std::mem::take(&mut scratch.out);
+            out_buf.resize(weight.rows() * width, 0.0);
+            let mut out = Matrix::from_vec(weight.rows(), width, out_buf);
+            weight.matmul_dense_into(&rhs, &mut out);
             checksum += out.frobenius_norm() as f64;
+            scratch.rhs = rhs.into_vec();
+            scratch.out = out.into_vec();
         }
         checksum
     }
@@ -178,28 +213,15 @@ impl<'m, M: Model> ModelBank<'m, M> {
     /// Builds the variant for a level from scratch, bypassing the cache.
     /// Deterministic: two cold rebuilds produce bit-identical masks and
     /// weights (the invariant the bank's caching relies on).
+    ///
+    /// Masks and executable weights come out of one
+    /// [`combined_masks_and_weights`] pass, so a V/F switch pays a single
+    /// plan compilation per weight instead of the two `from_dense`
+    /// lowerings the pre-plan bank performed.
     pub fn rebuild_cold(&self, level_pos: usize) -> BankedModel {
         let candidate = &self.assignments[level_pos];
-        let masks =
-            combined_masks_for_model(self.model, &self.backbone, &self.prunable, &candidate.set);
-        let weights = self
-            .model
-            .parameters()
-            .into_iter()
-            .filter(|(name, _)| self.prunable.contains(name))
-            .map(|(name, weight)| {
-                // pattern assignment happens on the backbone-masked weight,
-                // exactly as the offline search evaluated it
-                let effective = match self.backbone.get(&name) {
-                    Some(mask) => weight.zip(mask, |w, m| w * m),
-                    None => weight.clone(),
-                };
-                (
-                    name,
-                    PatternPrunedMatrix::from_dense(&effective, &candidate.set),
-                )
-            })
-            .collect();
+        let (masks, weights) =
+            combined_masks_and_weights(self.model, &self.backbone, &self.prunable, &candidate.set);
         let sparsity = masks.overall_sparsity();
         BankedModel {
             level_pos,

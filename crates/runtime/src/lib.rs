@@ -70,7 +70,7 @@ mod report;
 mod scenario;
 mod scheduler;
 
-pub use bank::{BankStats, BankedModel, ModelBank};
+pub use bank::{BankStats, BankedModel, InferScratch, ModelBank};
 pub use controller::{HysteresisConfig, LevelDecision, RuntimeController, Telemetry};
 pub use engine::{RuntimePolicy, ServeConfig, ServeEngine};
 pub use fleet::{

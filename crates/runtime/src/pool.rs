@@ -8,7 +8,7 @@
 //! kernels ran and stayed bit-stable across runs; the bench harness uses the
 //! same entry point to measure wall-clock sparse-serving throughput.
 
-use crate::bank::BankedModel;
+use crate::bank::{BankedModel, InferScratch};
 use std::thread;
 
 /// Outcome of running a set of batches through the pool.
@@ -26,7 +26,9 @@ pub struct PoolOutcome {
 ///
 /// Batches are split into contiguous chunks, one per thread; every thread
 /// returns its per-batch checksums and the flat list is summed once in batch
-/// order, so the result is bit-identical for any worker count.
+/// order, so the result is bit-identical for any worker count. Each worker
+/// owns one [`InferScratch`], so steady-state batches run through the
+/// compiled-plan kernel without heap allocation.
 pub fn run_batches(model: &BankedModel, batches: &[usize], workers: usize) -> PoolOutcome {
     if batches.is_empty() {
         return PoolOutcome {
@@ -40,7 +42,13 @@ pub fn run_batches(model: &BankedModel, batches: &[usize], workers: usize) -> Po
         let handles: Vec<_> = batches
             .chunks(chunk_len)
             .map(|chunk| {
-                scope.spawn(move || chunk.iter().map(|&b| model.infer(b)).collect::<Vec<f64>>())
+                scope.spawn(move || {
+                    let mut scratch = InferScratch::new();
+                    chunk
+                        .iter()
+                        .map(|&b| model.infer_with(b, &mut scratch))
+                        .collect::<Vec<f64>>()
+                })
             })
             .collect();
         handles

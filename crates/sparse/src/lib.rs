@@ -13,6 +13,11 @@
 //! * [`BlockPrunedMatrix`] / [`BlockPartition`] — the Level-1 BP format.
 //! * [`PatternMask`], [`PatternSet`], [`PatternPrunedMatrix`] — the Level-2
 //!   PP format that is swapped at run time to follow DVFS.
+//! * [`PatternPlan`] / [`CompiledPattern`] — the compiled execution plan a
+//!   [`PatternPrunedMatrix`] lowers into at construction: flat value arena,
+//!   shared per-pattern offset tables and a blocked SIMD-friendly kernel
+//!   (see `plan.rs`; the seed scalar kernel survives in [`reference`] for
+//!   bit-level cross-checks).
 //! * [`StorageReport`] — byte-level comparison across formats.
 //!
 //! # Examples
@@ -41,10 +46,13 @@ mod block;
 mod coo;
 mod csr;
 mod pattern;
+mod plan;
+pub mod reference;
 mod storage;
 
 pub use block::{BlockPartition, BlockPrunedMatrix, PrunedBlock};
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use pattern::{PatternMask, PatternPrunedMatrix, PatternSet, SparseError};
+pub use plan::{CompiledPattern, PatternPlan};
 pub use storage::{FormatCost, SparseFormat, StorageReport};

@@ -7,6 +7,7 @@
 //! (and therefore its latency) without touching the backbone weights — that
 //! is what makes the switch lightweight enough to track DVFS.
 
+use crate::plan::PatternPlan;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rt3_tensor::Matrix;
@@ -307,27 +308,21 @@ impl PatternSet {
     /// (the selection rule of component ④: "choose the pattern with the
     /// largest l2-norm for each block").
     ///
-    /// `block` may be smaller than the pattern (partial edge block); only the
-    /// overlapping region is scored.
+    /// `block` may be smaller than the pattern (partial edge block); only
+    /// the overlapping region is scored. Delegates to the same shared
+    /// scoring implementation [`crate::PatternPlan`] compiles with, so the
+    /// two paths cannot diverge; bulk assignment should go through
+    /// `PatternPrunedMatrix::from_dense`, which amortises the pattern
+    /// compilation this method redoes per call.
     pub fn best_pattern_for(&self, block: &Matrix) -> usize {
-        let mut best = 0;
-        let mut best_norm = f32::NEG_INFINITY;
-        for (idx, p) in self.patterns.iter().enumerate() {
-            let mut norm = 0.0f32;
-            for i in 0..block.rows().min(p.size()) {
-                for j in 0..block.cols().min(p.size()) {
-                    if p.is_kept(i, j) {
-                        let v = block.get(i, j);
-                        norm += v * v;
-                    }
-                }
-            }
-            if norm > best_norm {
-                best_norm = norm;
-                best = idx;
-            }
-        }
-        best
+        let compiled: Vec<crate::CompiledPattern> = self
+            .patterns
+            .iter()
+            .map(crate::CompiledPattern::compile)
+            .collect();
+        let h = block.rows().min(self.size());
+        let w = block.cols().min(self.size());
+        crate::plan::best_pattern_for_block(&compiled, block.as_slice(), block.cols(), 0, h, w)
     }
 
     /// Bytes needed to ship this pattern set to the device: one bit per
@@ -340,87 +335,57 @@ impl PatternSet {
 
 /// A matrix stored as pattern-pruned blocks: every `psize x psize` block
 /// carries the index of its assigned pattern, and only the kept values.
+///
+/// Construction immediately lowers the matrix into a [`PatternPlan`] — a
+/// flat value arena plus shared per-pattern offset tables — and every
+/// kernel (`matmul_dense`, `to_dense`, `mask`) executes the plan, so no
+/// per-call layout or indexing work remains on the hot path. The seed's
+/// scalar kernel is retained in [`crate::reference`] for bit-level
+/// cross-checking.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PatternPrunedMatrix {
-    rows: usize,
-    cols: usize,
-    psize: usize,
-    block_grid: (usize, usize),
-    assignments: Vec<u16>,
-    /// Packed kept values per block, in the pattern's row-major kept order.
-    block_values: Vec<Vec<f32>>,
     set: PatternSet,
+    plan: PatternPlan,
 }
 
 impl PatternPrunedMatrix {
     /// Prunes `dense` with the given pattern set: each block is assigned the
     /// pattern that preserves the largest l2 norm, then only kept values are
-    /// stored.
+    /// stored — compiled directly into the execution plan.
     ///
     /// # Panics
     ///
     /// Panics if the pattern set has more than `u16::MAX` patterns.
     pub fn from_dense(dense: &Matrix, set: &PatternSet) -> Self {
-        assert!(
-            set.len() <= u16::MAX as usize,
-            "pattern set too large for u16 assignment indices"
-        );
-        let psize = set.size();
-        let grid_rows = dense.rows().div_ceil(psize);
-        let grid_cols = dense.cols().div_ceil(psize);
-        let mut assignments = Vec::with_capacity(grid_rows * grid_cols);
-        let mut block_values = Vec::with_capacity(grid_rows * grid_cols);
-        for br in 0..grid_rows {
-            for bc in 0..grid_cols {
-                let block = dense.block(br * psize, bc * psize, psize, psize);
-                let choice = set.best_pattern_for(&block);
-                assignments.push(choice as u16);
-                let pattern = &set.patterns()[choice];
-                let mut vals = Vec::with_capacity(pattern.ones());
-                for (r, c) in pattern.kept_positions() {
-                    if r < block.rows() && c < block.cols() {
-                        vals.push(block.get(r, c));
-                    } else {
-                        vals.push(0.0);
-                    }
-                }
-                block_values.push(vals);
-            }
-        }
         Self {
-            rows: dense.rows(),
-            cols: dense.cols(),
-            psize,
-            block_grid: (grid_rows, grid_cols),
-            assignments,
-            block_values,
+            plan: PatternPlan::compile(dense, set),
             set: set.clone(),
         }
     }
 
     /// Logical number of rows.
     pub fn rows(&self) -> usize {
-        self.rows
+        self.plan.shape().0
     }
 
     /// Logical number of columns.
     pub fn cols(&self) -> usize {
-        self.cols
+        self.plan.shape().1
     }
 
     /// Pattern side length.
     pub fn pattern_size(&self) -> usize {
-        self.psize
+        self.plan.pattern_size()
     }
 
     /// `(block rows, block cols)` of the block grid.
     pub fn block_grid(&self) -> (usize, usize) {
-        self.block_grid
+        self.plan.block_grid()
     }
 
     /// Per-block pattern assignment (row-major over the block grid).
     pub fn assignments(&self) -> &[u16] {
-        &self.assignments
+        self.plan.assignments()
     }
 
     /// The pattern set used.
@@ -428,9 +393,14 @@ impl PatternPrunedMatrix {
         &self.set
     }
 
+    /// The compiled execution plan backing every kernel of this matrix.
+    pub fn plan(&self) -> &PatternPlan {
+        &self.plan
+    }
+
     /// Number of stored values (including zeros that happen to be kept).
     pub fn stored_values(&self) -> usize {
-        self.block_values.iter().map(Vec::len).sum()
+        self.plan.stored_values()
     }
 
     /// Fraction of logical elements pruned away by the pattern assignment.
@@ -440,73 +410,45 @@ impl PatternPrunedMatrix {
 
     /// Reconstructs the dense matrix with pruned positions zeroed.
     pub fn to_dense(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, self.cols);
-        let (_, grid_cols) = self.block_grid;
-        for (bi, vals) in self.block_values.iter().enumerate() {
-            let br = bi / grid_cols;
-            let bc = bi % grid_cols;
-            let pattern = &self.set.patterns()[self.assignments[bi] as usize];
-            for ((r, c), &v) in pattern.kept_positions().iter().zip(vals.iter()) {
-                let rr = br * self.psize + r;
-                let cc = bc * self.psize + c;
-                if rr < self.rows && cc < self.cols {
-                    out.set(rr, cc, v);
-                }
-            }
-        }
+        let (rows, cols) = self.plan.shape();
+        let mut out = Matrix::zeros(rows, cols);
+        self.plan
+            .for_each_kept(|r, c, v| out.as_mut_slice()[r * cols + c] = v);
         out
     }
 
     /// The binary keep-mask with the logical matrix shape.
     pub fn mask(&self) -> Matrix {
-        let mut mask = Matrix::zeros(self.rows, self.cols);
-        let (_, grid_cols) = self.block_grid;
-        for bi in 0..self.assignments.len() {
-            let br = bi / grid_cols;
-            let bc = bi % grid_cols;
-            let pattern = &self.set.patterns()[self.assignments[bi] as usize];
-            for (r, c) in pattern.kept_positions() {
-                let rr = br * self.psize + r;
-                let cc = bc * self.psize + c;
-                if rr < self.rows && cc < self.cols {
-                    mask.set(rr, cc, 1.0);
-                }
-            }
-        }
+        let (rows, cols) = self.plan.shape();
+        let mut mask = Matrix::zeros(rows, cols);
+        self.plan
+            .for_each_kept(|r, c, _| mask.as_mut_slice()[r * cols + c] = 1.0);
         mask
     }
 
-    /// Sparse × dense product `self * rhs`, iterating kept positions per
-    /// block via the pattern's precomputed offset list.
+    /// Sparse × dense product `self * rhs`, executing the compiled plan
+    /// (flat arena, shared per-pattern offset tables, full/edge block
+    /// dispatch — see [`PatternPlan::matmul_into`]).
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul_dense(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows(), "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.cols());
-        let (_, grid_cols) = self.block_grid;
-        for (bi, vals) in self.block_values.iter().enumerate() {
-            let br = bi / grid_cols;
-            let bc = bi % grid_cols;
-            let pattern = &self.set.patterns()[self.assignments[bi] as usize];
-            for ((r, c), &v) in pattern.kept_positions().iter().zip(vals.iter()) {
-                if v == 0.0 {
-                    continue;
-                }
-                let rr = br * self.psize + r;
-                let cc = bc * self.psize + c;
-                if rr >= self.rows || cc >= self.cols {
-                    continue;
-                }
-                let rhs_row = rhs.row(cc);
-                let out_row = out.row_mut(rr);
-                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += v * b;
-                }
-            }
-        }
+        let mut out = Matrix::zeros(self.rows(), rhs.cols());
+        self.plan.matmul_into(rhs, &mut out);
         out
+    }
+
+    /// Zero-allocation variant of [`Self::matmul_dense`]: writes into a
+    /// caller-provided output matrix (zeroed first), so steady-state
+    /// serving can reuse its buffers across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not shaped
+    /// `(self.rows(), rhs.cols())`.
+    pub fn matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.plan.matmul_into(rhs, out);
     }
 
     /// Bytes to store the matrix: packed values + one `u16` pattern id per
@@ -515,9 +457,12 @@ impl PatternPrunedMatrix {
         self.stored_values() * std::mem::size_of::<f32>() + self.index_bytes()
     }
 
-    /// Bytes spent on metadata (assignments + pattern bitmaps).
+    /// Bytes spent on metadata (assignments + pattern bitmaps). The
+    /// compiled plan's derived offset tables are not counted: they are
+    /// working-set state rebuilt from the bitmaps, not shipped storage
+    /// (see [`PatternPlan::table_bytes`] for their footprint).
     pub fn index_bytes(&self) -> usize {
-        self.assignments.len() * std::mem::size_of::<u16>() + self.set.storage_bytes()
+        std::mem::size_of_val(self.assignments()) + self.set.storage_bytes()
     }
 }
 

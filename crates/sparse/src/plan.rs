@@ -1,0 +1,554 @@
+//! Compiled execution plans for pattern-pruned matmul.
+//!
+//! The scalar seed kernel paid three per-call costs that dominated the hot
+//! path of `BankedModel::infer`: it re-derived each pattern's
+//! `kept_positions()` (a fresh `Vec<(usize, usize)>`) for every block of
+//! every call, chased one heap pointer per block through `Vec<Vec<f32>>`
+//! value storage, and bounds-checked every element access. A
+//! [`PatternPlan`] removes all three ahead of time, PatDNN-style:
+//!
+//! * **Flat value arena.** All kept values live in one contiguous
+//!   `Vec<f32>`; a `block_offsets` prefix-sum table (one `u32` per block)
+//!   replaces the nested vectors.
+//! * **Per-pattern offset tables.** Each pattern in the set is compiled
+//!   *once* into a [`CompiledPattern`]: its kept positions grouped by local
+//!   row (CSR-style `row_ptr` over `u32` column offsets). Every block
+//!   assigned to that pattern shares the table, so the per-block metadata is
+//!   a single `u16` pattern id — exactly the reuse the paper's Level-2
+//!   format is designed around.
+//! * **Full-block vs. edge-block dispatch.** Interior blocks (the common
+//!   case) run a branch-free loop; for the rhs widths the serving engines
+//!   actually dispatch (1, 4, 8, 16, 32, 64) the kernel is monomorphized
+//!   on the width, holding each output row in a `[f32; W]` register
+//!   accumulator across all of the row's kept values — unrolled f32
+//!   multiply-adds with no per-element bounds checks, which the compiler
+//!   auto-vectorizes. Other widths take a chunked general path. Only the
+//!   (at most one) partial row/column strip of edge blocks takes the
+//!   checked path.
+//!
+//! The plan is built at [`PatternPrunedMatrix`] construction, so the matmul
+//! hot loop performs **zero heap allocation** and the kernel result is
+//! bit-identical to the retained scalar reference
+//! ([`crate::reference::matmul_dense_scalar`]) — the accumulation order per
+//! output element is unchanged.
+//!
+//! [`PatternPrunedMatrix`]: crate::PatternPrunedMatrix
+
+use crate::pattern::{PatternMask, PatternSet};
+use rt3_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Number of f32 lanes the inner multiply-add is chunked by; wide enough
+/// for one 256-bit vector, small enough that narrow rhs widths still use
+/// the remainder loop efficiently.
+const LANES: usize = 8;
+
+/// One pattern lowered to flat offset tables: kept positions grouped by
+/// local row, CSR-style.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledPattern {
+    /// `row_ptr[r]..row_ptr[r + 1]` indexes `cols` for local row `r`.
+    row_ptr: Vec<u32>,
+    /// Local column offset of each kept position, in row-major kept order.
+    cols: Vec<u32>,
+}
+
+impl CompiledPattern {
+    /// Lowers a pattern mask into its offset tables. Done once per pattern;
+    /// every block assigned to the pattern reuses the result.
+    pub fn compile(mask: &PatternMask) -> Self {
+        let size = mask.size();
+        let mut row_ptr = Vec::with_capacity(size + 1);
+        let mut cols = Vec::with_capacity(mask.ones());
+        row_ptr.push(0);
+        for r in 0..size {
+            for c in 0..size {
+                if mask.is_kept(r, c) {
+                    cols.push(c as u32);
+                }
+            }
+            row_ptr.push(cols.len() as u32);
+        }
+        Self { row_ptr, cols }
+    }
+
+    /// Number of kept positions.
+    pub fn ones(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Range into the column table for local row `r`.
+    #[inline]
+    fn row_range(&self, r: usize) -> (usize, usize) {
+        (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize)
+    }
+}
+
+/// The single implementation of the paper's component-④ selection rule:
+/// index of the pattern preserving the largest l2 norm over one `h x w`
+/// block of row-major `data` (row `r` lives at `base + r * stride`).
+/// Accumulation is row-major over kept positions and ties keep the lowest
+/// index; both [`PatternPlan::compile`] and
+/// [`PatternSet::best_pattern_for`] call this, so their assignments cannot
+/// drift apart.
+pub(crate) fn best_pattern_for_block(
+    compiled: &[CompiledPattern],
+    data: &[f32],
+    stride: usize,
+    base: usize,
+    h: usize,
+    w: usize,
+) -> usize {
+    let mut best = 0;
+    let mut best_norm = f32::NEG_INFINITY;
+    for (pi, cp) in compiled.iter().enumerate() {
+        let mut norm = 0.0f32;
+        for r in 0..h {
+            let row = &data[base + r * stride..][..w];
+            let (s, e) = cp.row_range(r);
+            for &c in &cp.cols[s..e] {
+                if (c as usize) < w {
+                    let v = row[c as usize];
+                    norm += v * v;
+                }
+            }
+        }
+        if norm > best_norm {
+            best_norm = norm;
+            best = pi;
+        }
+    }
+    best
+}
+
+/// A pattern-pruned matrix lowered to its executable form: flat value
+/// arena, per-block `u32` offsets, shared per-pattern offset tables and a
+/// full/edge block split. See the module docs for the layout rationale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PatternPlan {
+    rows: usize,
+    cols: usize,
+    psize: usize,
+    grid: (usize, usize),
+    /// Pattern id per block, row-major over the block grid.
+    assignments: Vec<u16>,
+    /// All kept values, block-major; block `bi` owns
+    /// `arena[block_offsets[bi]..block_offsets[bi + 1]]` in its pattern's
+    /// row-major kept order.
+    arena: Vec<f32>,
+    /// Prefix sums into `arena`, one entry per block plus a terminator.
+    block_offsets: Vec<u32>,
+    /// One compiled table per pattern in the set, in set order.
+    compiled: Vec<CompiledPattern>,
+}
+
+impl PatternPlan {
+    /// Lowers `dense` against `set`: assigns every `psize x psize` block
+    /// the pattern preserving the largest l2 norm (the same
+    /// `best_pattern_for_block` implementation
+    /// [`PatternSet::best_pattern_for`] calls, via the shared compiled
+    /// tables) and packs the kept values into the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has more than `u16::MAX` patterns or the kept
+    /// values do not fit a `u32` arena offset.
+    pub fn compile(dense: &Matrix, set: &PatternSet) -> Self {
+        assert!(
+            set.len() <= u16::MAX as usize,
+            "pattern set too large for u16 assignment indices"
+        );
+        let psize = set.size();
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let grid_rows = rows.div_ceil(psize);
+        let grid_cols = cols.div_ceil(psize);
+        let blocks = grid_rows * grid_cols;
+        let compiled: Vec<CompiledPattern> = set
+            .patterns()
+            .iter()
+            .map(CompiledPattern::compile)
+            .collect();
+        let data = dense.as_slice();
+        let mean_ones =
+            compiled.iter().map(CompiledPattern::ones).sum::<usize>() / compiled.len().max(1);
+        let mut assignments = Vec::with_capacity(blocks);
+        let mut block_offsets = Vec::with_capacity(blocks + 1);
+        block_offsets.push(0u32);
+        let mut arena: Vec<f32> = Vec::with_capacity(blocks * mean_ones);
+        for br in 0..grid_rows {
+            let base_r = br * psize;
+            let h = psize.min(rows - base_r);
+            for bc in 0..grid_cols {
+                let base_c = bc * psize;
+                let w = psize.min(cols - base_c);
+                let best =
+                    best_pattern_for_block(&compiled, data, cols, base_r * cols + base_c, h, w);
+                assignments.push(best as u16);
+                // pack values in the pattern's row-major kept order;
+                // positions outside the logical matrix store 0.0 so every
+                // block assigned to a pattern has the same arena stride
+                let cp = &compiled[best];
+                for r in 0..psize {
+                    let (s, e) = cp.row_range(r);
+                    if r < h {
+                        let row = &data[(base_r + r) * cols + base_c..][..w];
+                        arena.extend(cp.cols[s..e].iter().map(|&c| {
+                            if (c as usize) < w {
+                                row[c as usize]
+                            } else {
+                                0.0
+                            }
+                        }));
+                    } else {
+                        arena.extend(std::iter::repeat_n(0.0f32, e - s));
+                    }
+                }
+                let end = u32::try_from(arena.len()).expect("arena exceeds u32 offsets");
+                block_offsets.push(end);
+            }
+        }
+        Self {
+            rows,
+            cols,
+            psize,
+            grid: (grid_rows, grid_cols),
+            assignments,
+            arena,
+            block_offsets,
+            compiled,
+        }
+    }
+
+    /// Logical shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Pattern side length.
+    pub fn pattern_size(&self) -> usize {
+        self.psize
+    }
+
+    /// `(block rows, block cols)` of the block grid.
+    pub fn block_grid(&self) -> (usize, usize) {
+        self.grid
+    }
+
+    /// Pattern id per block, row-major over the block grid.
+    pub fn assignments(&self) -> &[u16] {
+        &self.assignments
+    }
+
+    /// Total values stored in the arena (including kept zeros).
+    pub fn stored_values(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The compiled offset tables, one per pattern in the set.
+    pub fn compiled_patterns(&self) -> &[CompiledPattern] {
+        &self.compiled
+    }
+
+    /// The packed values of block `bi`, in its pattern's row-major kept
+    /// order (the arena slice the kernels execute from).
+    pub fn block_values(&self, bi: usize) -> &[f32] {
+        &self.arena[self.block_offsets[bi] as usize..self.block_offsets[bi + 1] as usize]
+    }
+
+    /// Bytes of plan metadata beyond the values and the pattern bitmaps:
+    /// per-block offsets plus the compiled per-pattern tables.
+    pub fn table_bytes(&self) -> usize {
+        let tables: usize = self
+            .compiled
+            .iter()
+            .map(|cp| (cp.row_ptr.len() + cp.cols.len()) * std::mem::size_of::<u32>())
+            .sum();
+        self.block_offsets.len() * std::mem::size_of::<u32>() + tables
+    }
+
+    /// Calls `f(row, col, value)` for every kept position inside the
+    /// logical matrix bounds, block-major then row-major within the block —
+    /// the single traversal backing both `to_dense` and `mask`.
+    pub fn for_each_kept<F: FnMut(usize, usize, f32)>(&self, mut f: F) {
+        let (grid_rows, grid_cols) = self.grid;
+        for br in 0..grid_rows {
+            let base_r = br * self.psize;
+            let h = self.psize.min(self.rows - base_r);
+            for bc in 0..grid_cols {
+                let bi = br * grid_cols + bc;
+                let base_c = bc * self.psize;
+                let w = self.psize.min(self.cols - base_c);
+                let cp = &self.compiled[self.assignments[bi] as usize];
+                let vals = self.block_values(bi);
+                for r in 0..h {
+                    let (s, e) = cp.row_range(r);
+                    for (&c, &v) in cp.cols[s..e].iter().zip(&vals[s..e]) {
+                        if (c as usize) < w {
+                            f(base_r + r, base_c + c as usize, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sparse × dense product `plan * rhs`, written into `out` (which is
+    /// zeroed first). This is the zero-allocation entry point: the hot loop
+    /// touches only the arena, the offset tables and the two matrices.
+    ///
+    /// Common rhs widths (1, 4, 8, 16, 32, 64 — the micro-batch sizes the
+    /// serving engines dispatch) run a monomorphized kernel whose output
+    /// row lives in a fixed-size register accumulator across all of a
+    /// row's kept positions; other widths take a chunked general path.
+    /// Both preserve the scalar reference's per-element accumulation
+    /// order, so results are bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs.rows()` does not match the plan's column count or
+    /// `out` is not shaped `(rows, rhs.cols())`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, rhs.rows(), "matmul shape mismatch");
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols()),
+            "matmul output shape mismatch"
+        );
+        out.fill_zero();
+        let width = rhs.cols();
+        if width == 0 {
+            return;
+        }
+        let rhs_data = rhs.as_slice();
+        let out_data = out.as_mut_slice();
+        // W = 0 selects the runtime-width general kernel
+        match width {
+            1 => self.execute::<1>(rhs_data, out_data, width),
+            4 => self.execute::<4>(rhs_data, out_data, width),
+            8 => self.execute::<8>(rhs_data, out_data, width),
+            16 => self.execute::<16>(rhs_data, out_data, width),
+            32 => self.execute::<32>(rhs_data, out_data, width),
+            64 => self.execute::<64>(rhs_data, out_data, width),
+            _ => self.execute::<0>(rhs_data, out_data, width),
+        }
+    }
+
+    /// Walks the block grid dispatching interior blocks to the branch-free
+    /// kernel (compile-time width `W` when non-zero) and edge blocks to the
+    /// clamped path.
+    fn execute<const W: usize>(&self, rhs: &[f32], out: &mut [f32], width: usize) {
+        let (grid_rows, grid_cols) = self.grid;
+        for br in 0..grid_rows {
+            let base_r = br * self.psize;
+            let full_rows = base_r + self.psize <= self.rows;
+            for bc in 0..grid_cols {
+                let bi = br * grid_cols + bc;
+                let base_c = bc * self.psize;
+                let cp = &self.compiled[self.assignments[bi] as usize];
+                let vals = self.block_values(bi);
+                if full_rows && base_c + self.psize <= self.cols {
+                    if W == 0 {
+                        self.block_full_general(cp, vals, base_r, base_c, rhs, out, width);
+                    } else {
+                        self.block_full_fixed::<W>(cp, vals, base_r, base_c, rhs, out);
+                    }
+                } else {
+                    self.block_edge(cp, vals, base_r, base_c, rhs, out, width);
+                }
+            }
+        }
+    }
+
+    /// Interior-block kernel for a compile-time rhs width: the output row
+    /// is copied into a `[f32; W]` register accumulator once, every kept
+    /// position of the row then runs `W` unrolled multiply-adds against it
+    /// (no per-element bounds checks, no output loads/stores per value),
+    /// and the row is written back once. Accumulation per element stays in
+    /// arena order, so the result is bit-identical to the scalar path.
+    #[inline]
+    fn block_full_fixed<const W: usize>(
+        &self,
+        cp: &CompiledPattern,
+        vals: &[f32],
+        base_r: usize,
+        base_c: usize,
+        rhs: &[f32],
+        out: &mut [f32],
+    ) {
+        for r in 0..self.psize {
+            let (s, e) = cp.row_range(r);
+            if s == e {
+                continue;
+            }
+            let rr = base_r + r;
+            let out_row = &mut out[rr * W..(rr + 1) * W];
+            let mut acc = [0.0f32; W];
+            acc.copy_from_slice(out_row);
+            for (&c, &v) in cp.cols[s..e].iter().zip(&vals[s..e]) {
+                let cc = base_c + c as usize;
+                let rhs_row = &rhs[cc * W..(cc + 1) * W];
+                for (a, &b) in acc.iter_mut().zip(rhs_row) {
+                    *a += v * b;
+                }
+            }
+            out_row.copy_from_slice(&acc);
+        }
+    }
+
+    /// Interior-block kernel for arbitrary rhs widths: each output row is
+    /// sliced once and the inner loop is a chunked multiply-add over the
+    /// rhs row.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn block_full_general(
+        &self,
+        cp: &CompiledPattern,
+        vals: &[f32],
+        base_r: usize,
+        base_c: usize,
+        rhs: &[f32],
+        out: &mut [f32],
+        width: usize,
+    ) {
+        for r in 0..self.psize {
+            let (s, e) = cp.row_range(r);
+            if s == e {
+                continue;
+            }
+            let rr = base_r + r;
+            let out_row = &mut out[rr * width..(rr + 1) * width];
+            for (&c, &v) in cp.cols[s..e].iter().zip(&vals[s..e]) {
+                let cc = base_c + c as usize;
+                let rhs_row = &rhs[cc * width..(cc + 1) * width];
+                axpy(out_row, rhs_row, v);
+            }
+        }
+    }
+
+    /// Edge-block kernel: rows and columns are clamped to the logical
+    /// matrix bounds (only the last block row/column can land here).
+    #[allow(clippy::too_many_arguments)]
+    fn block_edge(
+        &self,
+        cp: &CompiledPattern,
+        vals: &[f32],
+        base_r: usize,
+        base_c: usize,
+        rhs: &[f32],
+        out: &mut [f32],
+        width: usize,
+    ) {
+        let h = self.psize.min(self.rows - base_r);
+        let w = self.psize.min(self.cols - base_c);
+        for r in 0..h {
+            let (s, e) = cp.row_range(r);
+            let rr = base_r + r;
+            let out_row = &mut out[rr * width..(rr + 1) * width];
+            for (&c, &v) in cp.cols[s..e].iter().zip(&vals[s..e]) {
+                if c as usize >= w {
+                    continue;
+                }
+                let cc = base_c + c as usize;
+                let rhs_row = &rhs[cc * width..(cc + 1) * width];
+                axpy(out_row, rhs_row, v);
+            }
+        }
+    }
+}
+
+/// `out += a * x`, chunked by [`LANES`] so the compiler emits vector
+/// multiply-adds for the bulk of the row. Both slices have equal length
+/// (the rhs width); each output element receives exactly one add, so the
+/// accumulation order per element is the same as a scalar loop.
+#[inline]
+fn axpy(out: &mut [f32], x: &[f32], a: f32) {
+    let mut oc = out.chunks_exact_mut(LANES);
+    let mut xc = x.chunks_exact(LANES);
+    for (o, b) in (&mut oc).zip(&mut xc) {
+        for k in 0..LANES {
+            o[k] += a * b[k];
+        }
+    }
+    for (o, &b) in oc.into_remainder().iter_mut().zip(xc.remainder()) {
+        *o += a * b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn set_of(psize: usize, sparsity: f64, count: usize, seed: u64) -> PatternSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PatternSet::new(
+            (0..count)
+                .map(|_| PatternMask::random(psize, sparsity, &mut rng))
+                .collect(),
+        )
+        .expect("non-empty set")
+    }
+
+    #[test]
+    fn compiled_pattern_groups_positions_by_row() {
+        let mask = PatternMask::new(
+            3,
+            vec![true, false, true, false, false, false, true, true, true],
+        );
+        let cp = CompiledPattern::compile(&mask);
+        assert_eq!(cp.ones(), 5);
+        assert_eq!(cp.row_range(0), (0, 2));
+        assert_eq!(cp.row_range(1), (2, 2));
+        assert_eq!(cp.row_range(2), (2, 5));
+        assert_eq!(cp.cols, vec![0, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn plan_assignments_match_scalar_best_pattern() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let dense = Matrix::xavier(13, 9, &mut rng);
+        let set = set_of(4, 0.5, 3, 32);
+        let plan = PatternPlan::compile(&dense, &set);
+        let (grid_rows, grid_cols) = plan.block_grid();
+        assert_eq!((grid_rows, grid_cols), (4, 3));
+        for br in 0..grid_rows {
+            for bc in 0..grid_cols {
+                let block = dense.block(br * 4, bc * 4, 4, 4);
+                assert_eq!(
+                    plan.assignments()[br * grid_cols + bc] as usize,
+                    set.best_pattern_for(&block),
+                    "block ({br},{bc})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_stride_is_uniform_per_pattern() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let dense = Matrix::xavier(12, 12, &mut rng);
+        let set = set_of(4, 0.75, 2, 34);
+        let plan = PatternPlan::compile(&dense, &set);
+        for (bi, &a) in plan.assignments().iter().enumerate() {
+            assert_eq!(
+                plan.block_values(bi).len(),
+                plan.compiled_patterns()[a as usize].ones()
+            );
+        }
+        assert_eq!(plan.stored_values(), 9 * 4); // 9 blocks x 4 kept each
+    }
+
+    #[test]
+    fn matmul_into_handles_zero_width_rhs() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let dense = Matrix::xavier(8, 8, &mut rng);
+        let set = set_of(4, 0.5, 2, 36);
+        let plan = PatternPlan::compile(&dense, &set);
+        let rhs = Matrix::zeros(8, 0);
+        let mut out = Matrix::zeros(8, 0);
+        plan.matmul_into(&rhs, &mut out); // must not panic
+        assert_eq!(out.shape(), (8, 0));
+    }
+}

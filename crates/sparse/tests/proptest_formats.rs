@@ -93,6 +93,68 @@ proptest! {
         prop_assert!(pp.assignments().iter().all(|&a| (a as usize) < set.len()));
     }
 
+    /// The compiled-plan kernel must be *bit-identical* to the retained
+    /// scalar reference across random shapes, including partial edge blocks
+    /// (dims not divisible by psize) and all-zero blocks. Exact equality
+    /// holds because the plan accumulates into each output element in the
+    /// same order as the reference; the only divergence — the reference
+    /// skips stored zeros, the plan multiplies them through — can flip the
+    /// sign of a zero partial sum, and `approx_eq(_, 0.0)` treats -0.0 and
+    /// +0.0 as equal (documented float-reassociation-free tolerance).
+    #[test]
+    fn compiled_kernel_is_bit_identical_to_scalar_reference(
+        m in sparse_matrix(17),
+        psize in 2usize..6,
+        sparsity in 0.0f64..0.95,
+        width in 1usize..6,
+    ) {
+        let bits_a = PatternMask::from_importance(
+            &Matrix::from_fn(psize, psize, |i, j| ((i * 5 + j * 3) % 7) as f32),
+            sparsity,
+        );
+        let bits_b = PatternMask::from_importance(
+            &Matrix::from_fn(psize, psize, |i, j| ((i * 11 + j * 2) % 9) as f32),
+            sparsity,
+        );
+        let set = PatternSet::new(vec![bits_a, bits_b]).expect("non-empty set");
+        let pp = PatternPrunedMatrix::from_dense(&m, &set);
+        let rhs = dense_rhs(m.cols(), width, 7);
+        let compiled = pp.matmul_dense(&rhs);
+        let scalar = rt3_sparse::reference::matmul_dense_scalar(&pp, &rhs);
+        prop_assert!(
+            compiled.approx_eq(&scalar, 0.0),
+            "compiled plan diverged from the scalar reference"
+        );
+        // the zero-allocation entry point computes the same thing
+        let mut out = Matrix::filled(pp.rows(), width, f32::NAN);
+        pp.matmul_dense_into(&rhs, &mut out);
+        prop_assert!(out.approx_eq(&compiled, 0.0));
+    }
+
+    /// An all-zero matrix exercises every block through the plan with a
+    /// fully zero arena: kernels, mask and reconstruction must still agree
+    /// with the reference bit-for-bit.
+    #[test]
+    fn compiled_kernel_handles_all_zero_blocks(
+        rows in 2usize..14,
+        cols in 2usize..14,
+        psize in 2usize..5,
+    ) {
+        let m = Matrix::zeros(rows, cols);
+        let imp = Matrix::from_fn(psize, psize, |i, j| ((i * 3 + j) % 4) as f32);
+        let set = PatternSet::new(vec![PatternMask::from_importance(&imp, 0.5)])
+            .expect("non-empty set");
+        let pp = PatternPrunedMatrix::from_dense(&m, &set);
+        let rhs = dense_rhs(cols, 3, 9);
+        let compiled = pp.matmul_dense(&rhs);
+        let scalar = rt3_sparse::reference::matmul_dense_scalar(&pp, &rhs);
+        prop_assert!(compiled.approx_eq(&scalar, 0.0));
+        prop_assert!(compiled.approx_eq(&Matrix::zeros(rows, 3), 0.0));
+        prop_assert!(pp.to_dense().approx_eq(&m, 0.0));
+        // the mask still marks kept positions even though every value is 0
+        prop_assert!(pp.mask().count_nonzero() > 0);
+    }
+
     #[test]
     fn pattern_sparsity_matches_request(psize in 3usize..12, sparsity in 0.0f64..1.0) {
         let imp = Matrix::from_fn(psize, psize, |i, j| (i * psize + j) as f32);

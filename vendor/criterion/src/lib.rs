@@ -76,10 +76,10 @@ impl Criterion {
     }
 
     /// Starts a named group of related benchmarks.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             _parent: self,
-            name: name.to_string(),
+            name: name.into(),
             sample_size: 10,
         }
     }
@@ -99,9 +99,18 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Runs one named benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+    /// Runs one named benchmark within the group (ids may be owned
+    /// strings, mirroring the real crate's `IntoBenchmarkId` flexibility).
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into()),
+            self.sample_size,
+            &mut f,
+        );
         self
     }
 
