@@ -10,7 +10,10 @@
 //!    RL controller picks one candidate pattern set per V/F level; latency,
 //!    number-of-runs and accuracy feed the Eq. (1) reward
 //!    ([`compute_reward`]); the explored solutions form the Fig. 3 Pareto
-//!    frontier.
+//!    frontier. The controller is one `rt3-search` [`Optimizer`] among
+//!    several — [`run_level2_search_with`] runs the same search under any
+//!    of them, and [`compare_optimizers`] races them at equal evaluation
+//!    budget (Table III, generalised).
 //! 3. **Joint training** ([`joint_train_lm`]): the shared backbone is
 //!    fine-tuned under all selected pattern sets at once (Fig. 2), against
 //!    the individually trained upper bound ([`individually_train_lm`]).
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod baselines;
+mod compare;
 mod config;
 mod evaluator;
 mod joint;
@@ -52,6 +56,7 @@ pub use baselines::{
     run_motivation_experiment, switch_time_comparison, AblationRow, AblationVariant,
     BpEvaluationRow, MotivationRow, SwitchComparison,
 };
+pub use compare::{compare_optimizers, ComparisonConfig, ComparisonReport, OptimizerReport};
 pub use config::{RewardParams, Rt3Config};
 pub use evaluator::{
     AccuracyEvaluator, PruningSpec, SurrogateEvaluator, TaskProfile, TrainedClassifierEvaluator,
@@ -62,5 +67,10 @@ pub use pareto::{frontier_covers, pareto_front_indices, ObjectivePair, ParetoPoi
 pub use reward::{compute_reward, RewardBreakdown, RewardCase};
 pub use search::{
     build_search_space, candidate_sparsities, constraint_guided_sparsities, evaluate_assignment,
-    run_level1, run_level1_random, run_level2_search, BackboneResult, SearchOutcome, SolutionPoint,
+    evaluate_assignment_with_reference, level2_assignment_space, level2_runs_reference, run_level1,
+    run_level1_random, run_level2_search, run_level2_search_with, BackboneResult, SearchOutcome,
+    SolutionPoint,
 };
+// the optimizer vocabulary Level-2 callers need, re-exported so downstream
+// code can stay on the `rt3-core` facade
+pub use rt3_search::{build_optimizer, AssignmentSpace, Optimizer, OptimizerKind};

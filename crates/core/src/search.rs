@@ -2,11 +2,15 @@
 //!
 //! * [`run_level1`] applies block-structured pruning to the model, evaluates
 //!   the backbone and freezes it (the paper's component ①).
-//! * [`run_level2_search`] runs the RL search over the shrunken pattern
-//!   search space (components ②–④): the controller proposes one candidate
+//! * [`run_level2_search`] runs the Level-2 search over the shrunken pattern
+//!   search space (components ②–④): an optimizer proposes one candidate
 //!   pattern set per V/F level, the performance predictor supplies latency
 //!   and number-of-runs, the accuracy evaluator supplies the software
-//!   metric, and Eq. (1) turns them into the reward.
+//!   metric, and Eq. (1) turns them into the reward. The paper's RL
+//!   controller is the default optimizer; [`run_level2_search_with`] accepts
+//!   any [`rt3_search::Optimizer`] (evolutionary, bandit, random,
+//!   exhaustive) over the same candidate sets, driven through the
+//!   budget-matched memoizing [`rt3_search::SearchDriver`].
 
 use crate::config::Rt3Config;
 use crate::evaluator::{AccuracyEvaluator, PruningSpec};
@@ -19,7 +23,7 @@ use rt3_pruning::{
     block_prune_model, combined_masks_for_model, generate_pattern_space, random_block_prune_model,
     PatternSpace,
 };
-use rt3_rl::{Controller, ControllerConfig};
+use rt3_search::{AssignmentSpace, DriverConfig, Fitness, Optimizer, Reinforce, SearchDriver};
 use rt3_sparse::SparseFormat;
 use rt3_transformer::{MaskSet, Model};
 use serde::{Deserialize, Serialize};
@@ -125,6 +129,16 @@ impl ParetoPoint for SolutionPoint {
 
     fn runs_objective(&self) -> f64 {
         self.number_of_runs
+    }
+}
+
+impl Fitness for SolutionPoint {
+    fn reward(&self) -> f64 {
+        self.reward
+    }
+
+    fn meets_constraint(&self) -> bool {
+        self.meets_constraint
     }
 }
 
@@ -346,8 +360,20 @@ pub fn build_search_space<M: Model>(
     generate_pattern_space(model, &backbone.masks, &sparsities, &config.pattern_space)
 }
 
-/// Runs the Level-2 RL search (components ②–④) and returns the explored
-/// history, the Pareto frontier and the best feasible solution.
+/// The Level-2 assignment space of a pattern search space under `config`:
+/// one decision per V/F level, each over the shared candidate sets.
+pub fn level2_assignment_space(space: &PatternSpace, config: &Rt3Config) -> AssignmentSpace {
+    AssignmentSpace::new(config.num_levels(), space.len())
+}
+
+/// Runs the Level-2 search (components ②–④) with the paper's RL controller
+/// and returns the explored history, the Pareto frontier and the best
+/// feasible solution.
+///
+/// This is a thin wrapper over [`run_level2_search_with`] with a
+/// [`Reinforce`] optimizer at the controller hyper-parameters this function
+/// has always used; `tests/golden_level2.rs` pins the outcome bit-identical
+/// to the pre-`rt3-search` implementation.
 pub fn run_level2_search<M: Model, E: AccuracyEvaluator>(
     model: &M,
     backbone: &BackboneResult,
@@ -355,45 +381,46 @@ pub fn run_level2_search<M: Model, E: AccuracyEvaluator>(
     config: &Rt3Config,
     evaluator: &mut E,
 ) -> SearchOutcome {
+    let mut optimizer = Reinforce::for_space(level2_assignment_space(space, config), config.seed);
+    run_level2_search_with(&mut optimizer, model, backbone, space, config, evaluator)
+}
+
+/// Runs the Level-2 search with any [`Optimizer`] over the candidate
+/// pattern sets.
+///
+/// The optimizer runs for exactly `config.episodes` proposals (the
+/// episode-count semantics of the original RL loop) through the memoizing
+/// [`SearchDriver`], followed by one evaluation of its final
+/// recommendation; every proposal lands in the history whether or not it
+/// repeats an assignment, so `history.len() == config.episodes + 1`
+/// whenever the optimizer recommends something.
+///
+/// # Panics
+///
+/// Panics when the configuration is invalid or when the optimizer's
+/// [`AssignmentSpace`] does not match `space`/`config`.
+pub fn run_level2_search_with<M: Model, E: AccuracyEvaluator>(
+    optimizer: &mut dyn Optimizer,
+    model: &M,
+    backbone: &BackboneResult,
+    space: &PatternSpace,
+    config: &Rt3Config,
+    evaluator: &mut E,
+) -> SearchOutcome {
     config.validate().expect("invalid RT3 configuration");
-    let reference = max_runs_reference(model, backbone, space, config);
-    let mut controller = Controller::new(ControllerConfig {
-        steps: config.num_levels(),
-        actions_per_step: space.len(),
-        hidden_dim: 16,
-        learning_rate: 5e-2,
-        baseline_decay: 0.8,
-        seed: config.seed,
-    });
-    let mut history = Vec::with_capacity(config.episodes);
-    for _ in 0..config.episodes {
-        let episode = controller.sample_episode();
-        let point = evaluate_solution(
-            model,
-            backbone,
-            space,
-            config,
-            evaluator,
-            &episode.actions,
-            true,
-            reference,
-        );
-        controller.update(&episode, point.reward);
-        history.push(point);
-    }
-    // read out the controller's best architecture as a final candidate
-    let best_episode = controller.best_episode();
-    let final_point = evaluate_solution(
-        model,
-        backbone,
-        space,
-        config,
-        evaluator,
-        &best_episode.actions,
-        true,
-        reference,
+    assert_eq!(
+        optimizer.space(),
+        level2_assignment_space(space, config),
+        "optimizer space does not match the pattern search space"
     );
-    history.push(final_point);
+    let reference = max_runs_reference(model, backbone, space, config);
+    let driver = SearchDriver::new(DriverConfig::exact_proposals(config.episodes));
+    let outcome = driver.run(optimizer, |actions| {
+        evaluate_solution(
+            model, backbone, space, config, evaluator, actions, true, reference,
+        )
+    });
+    let history = outcome.history;
     let feasible: Vec<usize> = history
         .iter()
         .enumerate()
@@ -421,6 +448,19 @@ pub fn run_level2_search<M: Model, E: AccuracyEvaluator>(
     }
 }
 
+/// The `R_runs` normalisation reference of a search space — invariant
+/// across assignments, so callers evaluating many assignments (the
+/// comparison harness, convergence benches) should compute it once and
+/// pass it to [`evaluate_assignment_with_reference`].
+pub fn level2_runs_reference<M: Model>(
+    model: &M,
+    backbone: &BackboneResult,
+    space: &PatternSpace,
+    config: &Rt3Config,
+) -> f64 {
+    max_runs_reference(model, backbone, space, config)
+}
+
 /// Evaluates a single externally chosen assignment (used by the heuristic and
 /// random baselines); `level2_guided = false` marks the rPP baseline.
 pub fn evaluate_assignment<M: Model, E: AccuracyEvaluator>(
@@ -433,6 +473,32 @@ pub fn evaluate_assignment<M: Model, E: AccuracyEvaluator>(
     level2_guided: bool,
 ) -> SolutionPoint {
     let reference = max_runs_reference(model, backbone, space, config);
+    evaluate_assignment_with_reference(
+        model,
+        backbone,
+        space,
+        config,
+        evaluator,
+        actions,
+        level2_guided,
+        reference,
+    )
+}
+
+/// Like [`evaluate_assignment`], but with a hoisted
+/// [`level2_runs_reference`] so repeated evaluations skip the per-call
+/// reference recomputation.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_assignment_with_reference<M: Model, E: AccuracyEvaluator>(
+    model: &M,
+    backbone: &BackboneResult,
+    space: &PatternSpace,
+    config: &Rt3Config,
+    evaluator: &mut E,
+    actions: &[usize],
+    level2_guided: bool,
+    reference: f64,
+) -> SolutionPoint {
     evaluate_solution(
         model,
         backbone,

@@ -1,0 +1,230 @@
+//! Golden regression suite for the Level-2 search: `run_level2_search` is
+//! played with fixed seeds and its full [`SearchOutcome`] — every explored
+//! assignment, every reward (compared as raw IEEE-754 bits), the Pareto
+//! indices and the winning solution — is pinned against values captured
+//! from the pre-`rt3-search` implementation, so routing the RL controller
+//! through the `Optimizer` trait and the memoized `SearchDriver` cannot
+//! drift the search by even one ULP.
+//!
+//! The values depend only on deterministic computation (the vendored
+//! splitmix64 `StdRng` and IEEE-754 arithmetic), so they are stable across
+//! machines. If an *intentional* behaviour change moves them, re-run with
+//! `GOLDEN_PRINT=1` (`GOLDEN_PRINT=1 cargo test -p rt3-core --test
+//! golden_level2 -- --nocapture`) and update the table — in the same change
+//! that explains why.
+
+use rt3_core::{
+    build_search_space, run_level1, run_level2_search, Rt3Config, SearchOutcome,
+    SurrogateEvaluator, TaskProfile,
+};
+use rt3_transformer::{TransformerConfig, TransformerLm};
+
+/// One pinned history entry: the proposed assignment and the exact reward.
+struct GoldenPoint {
+    actions: &'static [usize],
+    reward_bits: u64,
+}
+
+/// The pinned outcome of one seeded search.
+struct GoldenRun {
+    seed: u64,
+    best_actions: &'static [usize],
+    best_reward_bits: u64,
+    pareto_indices: &'static [usize],
+    history: &'static [GoldenPoint],
+}
+
+fn run_search(seed: u64) -> SearchOutcome {
+    let model = TransformerLm::new(TransformerConfig::tiny(32), 13);
+    let mut config = Rt3Config::tiny_test();
+    config.seed = seed;
+    let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+    let backbone = run_level1(&model, &config, &mut evaluator);
+    let space = build_search_space(&model, &backbone, &config);
+    run_level2_search(&model, &backbone, &space, &config, &mut evaluator)
+}
+
+fn print_run(seed: u64, outcome: &SearchOutcome) {
+    let best = outcome.best.as_ref().expect("feasible best");
+    println!("GoldenRun {{");
+    println!("    seed: {seed:#x},");
+    println!("    best_actions: &{:?},", best.actions);
+    println!("    best_reward_bits: {:#018x},", best.reward.to_bits());
+    println!("    pareto_indices: &{:?},", outcome.pareto_indices);
+    println!("    history: &[");
+    for p in &outcome.history {
+        println!(
+            "        GoldenPoint {{ actions: &{:?}, reward_bits: {:#018x} }},",
+            p.actions,
+            p.reward.to_bits()
+        );
+    }
+    println!("    ],");
+    println!("}},");
+}
+
+fn check_run(golden: &GoldenRun) {
+    let outcome = run_search(golden.seed);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        print_run(golden.seed, &outcome);
+        return;
+    }
+    let seed = golden.seed;
+    assert_eq!(
+        outcome.history.len(),
+        golden.history.len(),
+        "seed {seed:#x}: history length"
+    );
+    for (i, (got, want)) in outcome.history.iter().zip(golden.history).enumerate() {
+        assert_eq!(
+            got.actions, want.actions,
+            "seed {seed:#x}: actions of history[{i}]"
+        );
+        assert_eq!(
+            got.reward.to_bits(),
+            want.reward_bits,
+            "seed {seed:#x}: reward bits of history[{i}] (got {})",
+            got.reward
+        );
+    }
+    assert_eq!(
+        outcome.pareto_indices, golden.pareto_indices,
+        "seed {seed:#x}: pareto indices"
+    );
+    let best = outcome.best.expect("a feasible solution should exist");
+    assert_eq!(
+        best.actions, golden.best_actions,
+        "seed {seed:#x}: best actions"
+    );
+    assert_eq!(
+        best.reward.to_bits(),
+        golden.best_reward_bits,
+        "seed {seed:#x}: best reward bits (got {})",
+        best.reward
+    );
+    assert!(best.meets_constraint, "seed {seed:#x}: best is feasible");
+}
+
+#[test]
+fn level2_search_reproduces_the_pre_refactor_outcome() {
+    for golden in golden_runs() {
+        check_run(&golden);
+    }
+}
+
+fn golden_runs() -> Vec<GoldenRun> {
+    vec![
+        GoldenRun {
+            seed: 0x0,
+            best_actions: &[1, 0, 2],
+            best_reward_bits: 0x3fffab9a24be3604,
+            pareto_indices: &[0, 1, 2, 3, 4, 5, 6],
+            history: &[
+                GoldenPoint {
+                    actions: &[1, 0, 2],
+                    reward_bits: 0x3fffab9a24be3604,
+                },
+                GoldenPoint {
+                    actions: &[2, 2, 0],
+                    reward_bits: 0x3ffaf84e4fc9e123,
+                },
+                GoldenPoint {
+                    actions: &[0, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[1, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[1, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[1, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[1, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+            ],
+        },
+        // the default `Rt3Config` seed: duplicate proposals late in the run
+        // exercise the memoized-cache path of the refactored driver
+        GoldenRun {
+            seed: 0x52_54_33,
+            best_actions: &[2, 0, 2],
+            best_reward_bits: 0x3ffafcd274cb4f30,
+            pareto_indices: &[1, 2, 3, 4, 5, 6],
+            history: &[
+                GoldenPoint {
+                    actions: &[2, 2, 0],
+                    reward_bits: 0x3ffaf84e4fc9e123,
+                },
+                GoldenPoint {
+                    actions: &[2, 0, 2],
+                    reward_bits: 0x3ffafcd274cb4f30,
+                },
+                GoldenPoint {
+                    actions: &[2, 0, 2],
+                    reward_bits: 0x3ffafcd274cb4f30,
+                },
+                GoldenPoint {
+                    actions: &[2, 1, 2],
+                    reward_bits: 0x3ffafcd274cb4f30,
+                },
+                GoldenPoint {
+                    actions: &[2, 0, 2],
+                    reward_bits: 0x3ffafcd274cb4f30,
+                },
+                GoldenPoint {
+                    actions: &[2, 0, 2],
+                    reward_bits: 0x3ffafcd274cb4f30,
+                },
+                GoldenPoint {
+                    actions: &[2, 0, 2],
+                    reward_bits: 0x3ffafcd274cb4f30,
+                },
+            ],
+        },
+        // distinct assignments share one reward bit-pattern here, so `best`
+        // pins the tie-breaking order of the feasible argmax (last maximum)
+        GoldenRun {
+            seed: 0xdac21,
+            best_actions: &[1, 1, 1],
+            best_reward_bits: 0x3fff7f8bd28a2434,
+            pareto_indices: &[0, 1, 2, 3, 4, 6],
+            history: &[
+                GoldenPoint {
+                    actions: &[0, 2, 0],
+                    reward_bits: 0x3ffada4932effb2e,
+                },
+                GoldenPoint {
+                    actions: &[0, 0, 0],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[1, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[1, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[0, 0, 0],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+                GoldenPoint {
+                    actions: &[2, 1, 1],
+                    reward_bits: 0x3ffad0c422973d5f,
+                },
+                GoldenPoint {
+                    actions: &[1, 1, 1],
+                    reward_bits: 0x3fff7f8bd28a2434,
+                },
+            ],
+        },
+    ]
+}

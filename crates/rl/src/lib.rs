@@ -2,7 +2,11 @@
 //!
 //! The reinforcement-learning substrate of RT3: an RNN policy controller
 //! trained with REINFORCE, used by the Level-2 search to pick one candidate
-//! pattern set per V/F level (component ② of the framework).
+//! pattern set per V/F level (component ② of the framework). The Level-2
+//! search consumes it through `rt3_search::Reinforce`, the trait adapter
+//! that makes this controller one pluggable optimizer among several
+//! (evolutionary, bandit, random, exhaustive) — this crate stays a leaf
+//! and knows nothing about that boundary.
 //!
 //! # Examples
 //!

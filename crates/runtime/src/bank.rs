@@ -1,7 +1,10 @@
 //! The model bank: one pre-materialised sparse model per V/F level.
 //!
 //! Offline, the Level-2 search picks one candidate pattern set per governor
-//! level ([`rt3_core::SearchOutcome`]). Online, switching levels must be a
+//! level ([`rt3_core::SearchOutcome`]) — under any `rt3-search` optimizer
+//! (the RL controller is the default; `rt3_core::run_level2_search_with`
+//! accepts evolutionary/bandit/random/exhaustive alternatives), so better
+//! search directly moves what this bank serves. Online, switching levels must be a
 //! lightweight pattern-set swap, not a model rebuild — so the bank turns each
 //! chosen pattern set into a [`BankedModel`]: the combined Level-1 ∧ Level-2
 //! masks plus the block-sparse weights ([`PatternPrunedMatrix`]) the workers

@@ -1,0 +1,272 @@
+//! The budget-matched [`SearchDriver`]: runs any [`Optimizer`] for a fixed
+//! number of distinct evaluations through a memoized
+//! [`EvaluationCache`], so comparing two optimizers at the same
+//! [`DriverConfig::budget`] compares them at equal evaluation cost.
+
+use crate::cache::EvaluationCache;
+use crate::optimizer::Optimizer;
+
+/// What the driver needs to know about an evaluation result. `rt3-core`
+/// implements this for its `SolutionPoint`; tests can use plain `f64`
+/// rewards.
+pub trait Fitness {
+    /// The scalar reward the optimizer maximises.
+    fn reward(&self) -> f64;
+
+    /// Whether the assignment met the hard (timing) constraint.
+    fn meets_constraint(&self) -> bool {
+        true
+    }
+}
+
+impl Fitness for f64 {
+    fn reward(&self) -> f64 {
+        *self
+    }
+}
+
+/// Budget of one driver run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriverConfig {
+    /// Maximum number of *distinct* assignments evaluated inside the search
+    /// loop — cache hits are free. This is the cost axis comparisons are
+    /// matched on: evaluating an assignment means pruning and scoring a
+    /// model, proposing one is a few microseconds of optimizer arithmetic.
+    pub budget: usize,
+    /// Maximum number of proposals, so an optimizer that keeps re-proposing
+    /// cached assignments (or has exhausted a tiny space) still terminates.
+    pub max_proposals: usize,
+}
+
+impl DriverConfig {
+    /// Budget-matched configuration: `budget` distinct evaluations, with a
+    /// generous `8 × budget` proposal cap for optimizers that revisit
+    /// assignments.
+    pub fn budget(budget: usize) -> Self {
+        Self {
+            budget,
+            max_proposals: budget.saturating_mul(8),
+        }
+    }
+
+    /// Exactly `n` proposals (and at most `n` distinct evaluations) — the
+    /// episode-count semantics of the original `run_level2_search` loop,
+    /// where every proposal is one RL episode whether or not it repeats an
+    /// assignment.
+    pub fn exact_proposals(n: usize) -> Self {
+        Self {
+            budget: n,
+            max_proposals: n,
+        }
+    }
+}
+
+/// Everything one driver run produced.
+#[derive(Debug, Clone)]
+pub struct DriverOutcome<T> {
+    /// One evaluation per proposal, in proposal order, plus the final
+    /// [`Optimizer::best`] read-out appended last (when the optimizer had
+    /// one).
+    pub history: Vec<T>,
+    /// Index into `history` of the best point (feasible preferred, then
+    /// highest reward, earliest on exact ties), `None` when the history is
+    /// empty.
+    pub best_index: Option<usize>,
+    /// Number of proposals made inside the search loop.
+    pub proposals: usize,
+    /// Distinct assignments evaluated inside the search loop (≤ the
+    /// configured budget).
+    pub unique_evaluations: usize,
+    /// Proposals answered from the cache (including the read-out lookup).
+    pub cache_hits: usize,
+    /// 1 when the final read-out had to evaluate an assignment the loop
+    /// never visited, else 0. Reported separately so the in-loop budget
+    /// stays exact.
+    pub readout_evaluations: usize,
+    /// Distinct evaluations spent when the eventual best point was *first*
+    /// reached — the sample-efficiency number of the comparison report.
+    pub evals_to_best: usize,
+}
+
+impl<T> DriverOutcome<T> {
+    /// The best point, if any.
+    pub fn best(&self) -> Option<&T> {
+        self.best_index.map(|i| &self.history[i])
+    }
+
+    /// Distinct evaluations including the read-out.
+    pub fn total_evaluations(&self) -> usize {
+        self.unique_evaluations + self.readout_evaluations
+    }
+
+    /// Fraction of lookups answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.total_evaluations();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Runs optimizers against an evaluation function under a fixed budget.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchDriver {
+    config: DriverConfig,
+}
+
+impl SearchDriver {
+    /// Creates a driver with the given budget configuration.
+    pub fn new(config: DriverConfig) -> Self {
+        Self { config }
+    }
+
+    /// The driver's budget configuration.
+    pub fn config(&self) -> &DriverConfig {
+        &self.config
+    }
+
+    /// Runs `optimizer` to its budget: repeatedly propose → evaluate
+    /// (memoized) → observe, then evaluate the optimizer's final
+    /// recommendation and append it to the history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the optimizer proposes an assignment outside its own
+    /// [`Optimizer::space`].
+    pub fn run<T, F>(&self, optimizer: &mut dyn Optimizer, mut evaluate: F) -> DriverOutcome<T>
+    where
+        T: Fitness + Clone,
+        F: FnMut(&[usize]) -> T,
+    {
+        let space = optimizer.space();
+        let mut cache: EvaluationCache<T> = EvaluationCache::new();
+        let mut history: Vec<T> = Vec::new();
+        let mut best_index: Option<usize> = None;
+        let mut best_key: Option<(bool, f64)> = None;
+        let mut evals_to_best = 0;
+        let mut proposals = 0;
+        while proposals < self.config.max_proposals && cache.misses() < self.config.budget {
+            let actions = optimizer.propose();
+            assert!(
+                space.contains(&actions),
+                "{} proposed {:?} outside its space {:?}",
+                optimizer.name(),
+                actions,
+                space
+            );
+            let (point, _) = cache.get_or_insert_with(&actions, || evaluate(&actions));
+            let point = point.clone();
+            optimizer.observe(&actions, point.reward(), point.meets_constraint());
+            let key = (point.meets_constraint(), point.reward());
+            if best_key.is_none_or(|b| key > b) {
+                best_key = Some(key);
+                best_index = Some(history.len());
+                evals_to_best = cache.misses();
+            }
+            history.push(point);
+            proposals += 1;
+        }
+        let unique_evaluations = cache.misses();
+        let mut readout_evaluations = 0;
+        if let Some(actions) = optimizer.best() {
+            assert!(
+                space.contains(&actions),
+                "{} recommended {:?} outside its space {:?}",
+                optimizer.name(),
+                actions,
+                space
+            );
+            let (point, hit) = cache.get_or_insert_with(&actions, || evaluate(&actions));
+            let point = point.clone();
+            if !hit {
+                readout_evaluations = 1;
+            }
+            let key = (point.meets_constraint(), point.reward());
+            if best_key.is_none_or(|b| key > b) {
+                best_index = Some(history.len());
+                evals_to_best = unique_evaluations + readout_evaluations;
+            }
+            history.push(point);
+        }
+        DriverOutcome {
+            history,
+            best_index,
+            proposals,
+            unique_evaluations,
+            cache_hits: cache.hits(),
+            readout_evaluations,
+            evals_to_best,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::AssignmentSpace;
+    use crate::random::RandomSearch;
+
+    fn reward_of(actions: &[usize]) -> f64 {
+        actions.iter().map(|&a| a as f64).sum::<f64>()
+    }
+
+    #[test]
+    fn driver_respects_the_evaluation_budget_and_appends_the_readout() {
+        let space = AssignmentSpace::new(2, 3);
+        let mut optimizer = RandomSearch::new(space, 9);
+        let driver = SearchDriver::new(DriverConfig::budget(4));
+        let mut evaluations = 0;
+        let outcome = driver.run(&mut optimizer, |a| {
+            evaluations += 1;
+            reward_of(a)
+        });
+        assert!(outcome.unique_evaluations <= 4);
+        assert_eq!(
+            evaluations,
+            outcome.unique_evaluations + outcome.readout_evaluations
+        );
+        // the read-out repeats the best observed assignment → cache hit
+        assert_eq!(outcome.readout_evaluations, 0);
+        assert_eq!(outcome.history.len(), outcome.proposals + 1);
+        let best = outcome.best().expect("non-empty history");
+        assert!((best.reward() - outcome.history[outcome.best_index.unwrap()]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_proposals_reproduce_episode_semantics() {
+        let space = AssignmentSpace::new(2, 2);
+        let mut optimizer = RandomSearch::new(space, 1);
+        let driver = SearchDriver::new(DriverConfig::exact_proposals(6));
+        let outcome = driver.run(&mut optimizer, reward_of);
+        // 6 proposals + the read-out, even though the 2×2 space only holds 4
+        // distinct assignments (the repeats are cache hits)
+        assert_eq!(outcome.proposals, 6);
+        assert_eq!(outcome.history.len(), 7);
+        assert!(outcome.unique_evaluations <= 4);
+        assert!(outcome.cache_hits >= 2);
+    }
+
+    #[test]
+    fn zero_budget_runs_nothing() {
+        let space = AssignmentSpace::new(2, 2);
+        let mut optimizer = RandomSearch::new(space, 3);
+        let driver = SearchDriver::new(DriverConfig::budget(0));
+        let outcome = driver.run(&mut optimizer, reward_of);
+        assert!(outcome.history.is_empty());
+        assert!(outcome.best_index.is_none());
+        assert_eq!(outcome.total_evaluations(), 0);
+    }
+
+    #[test]
+    fn evals_to_best_counts_distinct_evaluations_at_first_improvement() {
+        let space = AssignmentSpace::new(1, 4);
+        let mut optimizer = crate::exhaustive::Exhaustive::new(space);
+        let driver = SearchDriver::new(DriverConfig::budget(4));
+        // rising rewards: the best (action 3) is found on the 4th evaluation
+        let outcome = driver.run(&mut optimizer, reward_of);
+        assert_eq!(outcome.evals_to_best, 4);
+        assert_eq!(outcome.unique_evaluations, 4);
+    }
+}

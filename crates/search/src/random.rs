@@ -1,0 +1,69 @@
+//! [`RandomSearch`]: seeded uniform sampling of the assignment space — the
+//! baseline every tuned optimizer must beat at equal evaluation budget.
+
+use crate::optimizer::{AssignmentSpace, BestTracker, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random search.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    space: AssignmentSpace,
+    rng: StdRng,
+    tracker: BestTracker,
+}
+
+impl RandomSearch {
+    /// Creates a seeded random search over `space`.
+    pub fn new(space: AssignmentSpace, seed: u64) -> Self {
+        Self {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            tracker: BestTracker::new(),
+        }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn space(&self) -> AssignmentSpace {
+        self.space
+    }
+
+    fn propose(&mut self) -> Vec<usize> {
+        (0..self.space.num_levels)
+            .map(|_| self.rng.gen_range(0..self.space.num_candidates))
+            .collect()
+    }
+
+    fn observe(&mut self, actions: &[usize], reward: f64, meets_constraint: bool) {
+        self.tracker.offer(actions, reward, meets_constraint);
+    }
+
+    fn best(&self) -> Option<Vec<usize>> {
+        self.tracker.best_actions().map(<[usize]>::to_vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remembers_the_best_feasible_assignment() {
+        let space = AssignmentSpace::new(2, 4);
+        let mut search = RandomSearch::new(space, 1);
+        assert!(search.best().is_none());
+        for _ in 0..30 {
+            let a = search.propose();
+            let r = a.iter().sum::<usize>() as f64;
+            // assignments summing above 5 are "infeasible"
+            search.observe(&a, r, r <= 5.0);
+        }
+        let best = search.best().expect("something observed");
+        assert!(best.iter().sum::<usize>() <= 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the optimizer-subsystem invariants:
+//!
+//! 1. every optimizer only proposes valid assignments — length equals the
+//!    number of levels, every action indexes into the candidate space —
+//!    for arbitrary space shapes, seeds and reward streams;
+//! 2. every optimizer is deterministic for a fixed seed: two instances fed
+//!    the same rewards propose the same sequence and recommend the same
+//!    assignment;
+//! 3. the `SearchDriver` never exceeds its distinct-evaluation budget
+//!    (cache hits excluded, plus at most one final read-out evaluation)
+//!    and its memoized history matches direct re-evaluation.
+
+use proptest::prelude::*;
+use rt3_search::{
+    build_optimizer, AssignmentSpace, DriverConfig, Optimizer, OptimizerKind, SearchDriver,
+};
+
+/// A deterministic toy objective: separable with a twist so rewards differ
+/// per level, plus a feasibility cut.
+fn toy_reward(actions: &[usize], num_candidates: usize) -> (f64, bool) {
+    let reward: f64 = actions
+        .iter()
+        .enumerate()
+        .map(|(level, &a)| (a as f64 + 1.0) / ((level + 1) * num_candidates) as f64)
+        .sum();
+    let feasible = actions.iter().sum::<usize>() % 4 != 1;
+    (reward, feasible)
+}
+
+/// Drives one optimizer manually for `rounds` proposals and returns the
+/// proposal sequence.
+fn drive(optimizer: &mut dyn Optimizer, rounds: usize, num_candidates: usize) -> Vec<Vec<usize>> {
+    let mut proposals = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let actions = optimizer.propose();
+        let (reward, feasible) = toy_reward(&actions, num_candidates);
+        optimizer.observe(&actions, reward, feasible);
+        proposals.push(actions);
+    }
+    proposals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant 1: proposals (and the final recommendation) always lie in
+    /// the assignment space, for every optimizer kind.
+    #[test]
+    fn optimizers_only_propose_valid_assignments(
+        num_levels in 1usize..5,
+        num_candidates in 1usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let space = AssignmentSpace::new(num_levels, num_candidates);
+        for kind in OptimizerKind::all() {
+            let mut optimizer = build_optimizer(kind, space, seed);
+            for round in 0..24 {
+                let actions = optimizer.propose();
+                prop_assert_eq!(actions.len(), num_levels, "{} round {}", kind, round);
+                prop_assert!(
+                    actions.iter().all(|&a| a < num_candidates),
+                    "{} proposed {:?} with only {} candidates",
+                    kind,
+                    actions,
+                    num_candidates
+                );
+                let (reward, feasible) = toy_reward(&actions, num_candidates);
+                optimizer.observe(&actions, reward, feasible);
+            }
+            let best = optimizer.best().expect("observed 24 assignments");
+            prop_assert!(space.contains(&best), "{} recommended {:?}", kind, best);
+        }
+    }
+
+    /// Invariant 2: fixed seed → identical proposal stream and identical
+    /// recommendation, for every optimizer kind.
+    #[test]
+    fn optimizers_are_deterministic_for_a_fixed_seed(
+        num_levels in 1usize..4,
+        num_candidates in 2usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let space = AssignmentSpace::new(num_levels, num_candidates);
+        for kind in OptimizerKind::all() {
+            let mut first = build_optimizer(kind, space, seed);
+            let mut second = build_optimizer(kind, space, seed);
+            let proposals_first = drive(first.as_mut(), 16, num_candidates);
+            let proposals_second = drive(second.as_mut(), 16, num_candidates);
+            prop_assert_eq!(&proposals_first, &proposals_second, "{} proposals", kind);
+            prop_assert_eq!(first.best(), second.best(), "{} recommendation", kind);
+        }
+    }
+
+    /// Invariant 3: the driver spends at most `budget` distinct in-loop
+    /// evaluations plus at most one read-out evaluation, stops at the
+    /// proposal cap, and its history rewards equal direct re-evaluation
+    /// (the cache is transparent).
+    #[test]
+    fn driver_never_exceeds_its_evaluation_budget(
+        num_levels in 1usize..4,
+        num_candidates in 2usize..6,
+        seed in 0u64..1_000_000,
+        budget in 0usize..20,
+    ) {
+        let space = AssignmentSpace::new(num_levels, num_candidates);
+        for kind in OptimizerKind::all() {
+            let mut optimizer = build_optimizer(kind, space, seed);
+            let driver = SearchDriver::new(DriverConfig::budget(budget));
+            let mut evaluations = 0usize;
+            let outcome = driver.run(optimizer.as_mut(), |actions| {
+                evaluations += 1;
+                toy_reward(actions, num_candidates).0
+            });
+            prop_assert!(
+                outcome.unique_evaluations <= budget,
+                "{}: {} in-loop evaluations for budget {}",
+                kind,
+                outcome.unique_evaluations,
+                budget
+            );
+            prop_assert!(outcome.readout_evaluations <= 1, "{}", kind);
+            prop_assert_eq!(
+                evaluations,
+                outcome.unique_evaluations + outcome.readout_evaluations,
+                "{}: counted evaluations disagree",
+                kind
+            );
+            prop_assert!(
+                outcome.proposals <= driver.config().max_proposals,
+                "{}: proposal cap",
+                kind
+            );
+            // every lookup (proposals + the read-out, when one happened) is
+            // either a cache hit or a distinct evaluation
+            let readout_lookups = outcome.history.len() - outcome.proposals;
+            prop_assert!(readout_lookups <= 1, "{}", kind);
+            prop_assert_eq!(
+                outcome.cache_hits + outcome.total_evaluations(),
+                outcome.proposals + readout_lookups,
+                "{}: lookup accounting disagrees",
+                kind
+            );
+        }
+    }
+}

@@ -5,11 +5,19 @@
 //!
 //! This is the faithful-but-slow path; it takes a minute or two on a laptop.
 //! Run with `cargo run --release --example automl_search`.
+//!
+//! Environment (so CI can run a quick mode without code edits):
+//! * `RT3_BUDGET` — Level-2 episodes / proposals (default 8);
+//! * `RT3_SEED` — search seed (default the `tiny_test` seed);
+//! * `RT3_OPTIMIZER` — the Level-2 optimizer
+//!   (`reinforce|evolutionary|bandit|random|exhaustive`, default
+//!   `reinforce`, the paper's RL controller).
 
 use rt3::core::SurrogateEvaluator;
 use rt3::core::{
-    build_search_space, individually_train_lm, joint_train_lm, run_level1, run_level2_search,
-    Rt3Config, TaskProfile, TrainedLmEvaluator,
+    build_optimizer, build_search_space, individually_train_lm, joint_train_lm,
+    level2_assignment_space, run_level1, run_level2_search_with, OptimizerKind, Rt3Config,
+    TaskProfile, TrainedLmEvaluator,
 };
 use rt3::data::{CorpusConfig, MarkovCorpus};
 use rt3::pruning::combined_masks_for_model;
@@ -35,8 +43,13 @@ fn main() {
     };
 
     let mut config = Rt3Config::tiny_test();
-    config.episodes = 8;
+    config.episodes = rt3::env::parsed("RT3_BUDGET", 8);
+    config.seed = rt3::env::parsed("RT3_SEED", config.seed);
     config.workload_config = TransformerConfig::paper_transformer(512);
+    let optimizer_kind = OptimizerKind::parse(
+        &std::env::var("RT3_OPTIMIZER").unwrap_or_else(|_| "reinforce".into()),
+    )
+    .expect("RT3_OPTIMIZER");
 
     // Level 1 with a *trained* evaluator: the backbone accuracy is measured.
     let mut evaluator =
@@ -49,14 +62,27 @@ fn main() {
         100.0 * backbone.unpruned_accuracy
     );
 
-    // Level 2: the RL search uses the fast surrogate to explore, then the
+    // Level 2: the search uses the fast surrogate to explore, then the
     // chosen pattern sets are verified with real joint training.
     let space = build_search_space(&model, &backbone, &config);
     let mut surrogate = SurrogateEvaluator::new(TaskProfile::wikitext2());
-    let outcome = run_level2_search(&model, &backbone, &space, &config, &mut surrogate);
+    let mut optimizer = build_optimizer(
+        optimizer_kind,
+        level2_assignment_space(&space, &config),
+        config.seed,
+    );
+    let outcome = run_level2_search_with(
+        optimizer.as_mut(),
+        &model,
+        &backbone,
+        &space,
+        &config,
+        &mut surrogate,
+    );
     let best = outcome.best.expect("feasible solution");
     println!(
-        "level 2: best actions {:?} with sparsities {:?}",
+        "level 2 ({}): best actions {:?} with sparsities {:?}",
+        optimizer_kind,
         best.actions,
         best.sparsities
             .iter()

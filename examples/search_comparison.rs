@@ -1,0 +1,152 @@
+//! Table III-style comparison of Level-2 optimizers: REINFORCE (the
+//! paper's choice), evolutionary, decomposed bandit and the random
+//! baseline, all searching the *same* candidate pattern sets at the *same*
+//! distinct-evaluation budget through the memoizing `SearchDriver`, plus an
+//! exhaustive sweep of the full space as ground truth.
+//!
+//! Prints a human-readable table followed by one `{"bench":
+//! "search_comparison/..."}` JSON line per optimizer (CI greps those into
+//! `BENCH_search.json`), and **fails** (non-zero exit) if any tuned
+//! optimizer ends below the random baseline's best reward at equal budget —
+//! the search-quality gate.
+//!
+//! Environment:
+//! * `RT3_BUDGET` — distinct evaluations per optimizer (default 32);
+//! * `RT3_SEED` — shared optimizer seed (default the `Rt3Config` default);
+//! * `RT3_OPTIMIZER` — run a single optimizer (`reinforce|evolutionary|
+//!   bandit|random|exhaustive`) instead of the full comparison (the gate is
+//!   skipped, since there is no baseline row to compare against).
+//!
+//! Run with `cargo run --release --example search_comparison`.
+
+use rt3::core::{
+    build_search_space, compare_optimizers, run_level1, ComparisonConfig, OptimizerKind,
+    OptimizerReport, Rt3Config, SurrogateEvaluator, TaskProfile,
+};
+use rt3::transformer::{TransformerConfig, TransformerLm};
+
+fn json_line(report: &OptimizerReport, budget_matched: bool) {
+    let best = report.best.as_ref().expect("every optimizer finds a point");
+    println!(
+        "{{\"bench\": \"search_comparison/{}\", \"budget_matched\": {}, \
+         \"best_reward\": {:.6}, \"weighted_accuracy\": {:.6}, \"number_of_runs\": {:.1}, \
+         \"meets_constraint\": {}, \"actions\": {:?}, \"evals_to_best\": {}, \
+         \"total_evaluations\": {}, \"proposals\": {}, \"cache_hit_rate\": {:.4}}}",
+        report.name,
+        budget_matched,
+        best.reward,
+        best.weighted_accuracy,
+        best.number_of_runs,
+        best.meets_constraint,
+        best.actions,
+        report.evals_to_best,
+        report.unique_evaluations + report.readout_evaluations,
+        report.proposals,
+        report.cache_hit_rate,
+    );
+}
+
+fn main() {
+    let default_config = Rt3Config::wikitext_default();
+    let budget = rt3::env::parsed("RT3_BUDGET", 32);
+    if budget == 0 {
+        eprintln!("RT3_BUDGET must be at least 1 (got 0)");
+        std::process::exit(2);
+    }
+    let seed = rt3::env::parsed("RT3_SEED", default_config.seed);
+    let only = std::env::var("RT3_OPTIMIZER")
+        .ok()
+        .map(|raw| OptimizerKind::parse(&raw).expect("RT3_OPTIMIZER"));
+
+    // a tiny model but a wider candidate grid than the test config, so the
+    // 3-level assignment space (8^3 = 512) is large enough that search
+    // strategy matters at the default budget
+    let model = TransformerLm::new(TransformerConfig::tiny(32), 13);
+    let mut config = Rt3Config::tiny_test();
+    config.seed = seed;
+    config.candidate_sparsities = 8;
+    let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+    let backbone = run_level1(&model, &config, &mut evaluator);
+    let space = build_search_space(&model, &backbone, &config);
+
+    let mut comparison = ComparisonConfig::new(budget, seed);
+    if let Some(kind) = only {
+        comparison.optimizers = vec![kind];
+    }
+    let report = compare_optimizers(
+        &model,
+        &backbone,
+        &space,
+        &config,
+        &mut evaluator,
+        &comparison,
+    );
+
+    println!(
+        "Level-2 optimizer comparison — task {}, {} levels x {} candidates, \
+         budget {} distinct evaluations, seed {:#x}",
+        report.task, report.num_levels, report.num_candidates, report.budget, report.seed
+    );
+    println!(
+        "{:<14} {:>11} {:>10} {:>9} {:>14} {:>10}",
+        "optimizer", "best reward", "acc (A_w)", "runs", "evals-to-best", "cache-hit"
+    );
+    let print_row = |row: &OptimizerReport| {
+        let best = row.best.as_ref().expect("every optimizer finds a point");
+        println!(
+            "{:<14} {:>11.4} {:>9.2}% {:>9.0} {:>14} {:>9.0}%",
+            row.name,
+            best.reward,
+            100.0 * best.weighted_accuracy,
+            best.number_of_runs,
+            row.evals_to_best,
+            100.0 * row.cache_hit_rate,
+        );
+    };
+    for row in &report.rows {
+        print_row(row);
+    }
+    if let Some(optimum) = &report.optimum {
+        print_row(optimum);
+        println!(
+            "(exhaustive sweeps all {} assignments as ground truth; it is not budget-matched)",
+            report.num_candidates.pow(report.num_levels as u32)
+        );
+    }
+    println!();
+    for row in &report.rows {
+        json_line(row, true);
+    }
+    if let Some(optimum) = &report.optimum {
+        json_line(optimum, false);
+    }
+
+    // the search-quality gate: at equal budget, no tuned optimizer may end
+    // below the random baseline
+    let tuned_rows: Vec<_> = OptimizerKind::tuned()
+        .iter()
+        .filter_map(|kind| report.row(kind.name()))
+        .collect();
+    let random = report.row(OptimizerKind::Random.name());
+    let (Some(random), false) = (random, tuned_rows.is_empty()) else {
+        println!("(single-optimizer run: random-baseline gate skipped)");
+        return;
+    };
+    let mut failed = false;
+    for row in tuned_rows {
+        if row.best_reward() < random.best_reward() {
+            eprintln!(
+                "GATE FAILED: {} best reward {:.6} < random baseline {:.6} at budget {}",
+                row.name,
+                row.best_reward(),
+                random.best_reward(),
+                report.budget
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("gate passed: every tuned optimizer >= random baseline at equal budget");
+}

@@ -12,6 +12,9 @@
 //! * [`pruning`] — block-structured pruning and pattern-space generation;
 //! * [`hardware`] — DVFS, power/battery, latency prediction, reconfiguration;
 //! * [`rl`] — the RNN policy controller;
+//! * [`search`] — pluggable Level-2 optimizers (REINFORCE, evolutionary,
+//!   bandit, random, exhaustive) behind one trait, with a budget-matched
+//!   memoizing search driver;
 //! * [`core`] — the two-level RT3 framework, baselines and experiments;
 //! * [`runtime`] — the battery-aware online serving engine (model bank,
 //!   deadline scheduler, trace-driven scenarios) and the fleet layer
@@ -30,18 +33,39 @@
 //! ```
 //!
 //! Runnable end-to-end examples live in `examples/` (`quickstart`,
-//! `battery_runtime`, `automl_search`, `ablation_study`, `serve_trace`,
-//! `serve_fleet`).
+//! `battery_runtime`, `automl_search`, `search_comparison`,
+//! `ablation_study`, `serve_trace`, `serve_fleet`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use rt3_core as core;
+
+/// Environment-variable helpers shared by the runnable examples (the
+/// `RT3_BUDGET` / `RT3_SEED` / `RT3_OPTIMIZER` knobs).
+pub mod env {
+    /// Reads `name` from the process environment, parsed into `T`;
+    /// returns `default` when the variable is unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but does not parse as `T`.
+    pub fn parsed<T: std::str::FromStr>(name: &str, default: T) -> T {
+        match std::env::var(name) {
+            Ok(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("{name}={raw:?} could not be parsed")),
+            Err(_) => default,
+        }
+    }
+}
+
 pub use rt3_data as data;
 pub use rt3_hardware as hardware;
 pub use rt3_pruning as pruning;
 pub use rt3_rl as rl;
 pub use rt3_runtime as runtime;
+pub use rt3_search as search;
 pub use rt3_sparse as sparse;
 pub use rt3_tensor as tensor;
 pub use rt3_transformer as transformer;
