@@ -11,7 +11,8 @@
 //! * [`VfLevel`] / [`DvfsGovernor`] — Table I's V/F levels and the
 //!   battery-driven governor (F/N/E modes).
 //! * [`PowerModel`] / [`Battery`] / [`number_of_runs`] — CMOS power and
-//!   energy accounting.
+//!   energy accounting, plus the [`DrainRateTracker`] EWMA drain observer
+//!   behind the runtime's predictive (time-to-death) battery reasoning.
 //! * [`PerformancePredictor`] / [`ModelWorkload`] — the latency predictor
 //!   (component ④'s hardware feedback).
 //! * [`MemoryModel`] / [`simulate_battery_lifetime`] — pattern-set switch
@@ -41,7 +42,7 @@ mod reconfig;
 
 pub use dvfs::{DvfsGovernor, DvfsMode, VfLevel};
 pub use latency::{LayerWorkload, ModelWorkload, PerformancePredictor};
-pub use power::{number_of_runs, Battery, PowerModel};
+pub use power::{number_of_runs, Battery, DrainRateTracker, PowerModel};
 pub use reconfig::{
     simulate_battery_lifetime, simulate_fixed_level, ExecutionProfile, MemoryModel,
     SimulationReport, SwitchCost,

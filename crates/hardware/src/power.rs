@@ -131,6 +131,103 @@ impl Battery {
     }
 }
 
+/// Exponentially weighted drain-rate estimator over periodic battery
+/// observations — the runtime's hook for *predictive* battery reasoning.
+///
+/// The fleet router's original headroom score ranked devices by raw state of
+/// charge, which confuses "large battery" with "long life": a full battery
+/// draining at 2 W dies before a half battery on a charger. Feeding the
+/// tracker one `(elapsed, remaining)` observation per window turns the raw
+/// trajectory into a smoothed drain rate (watts), and
+/// [`DrainRateTracker::time_to_death_ms`] converts that into the quantity a
+/// router actually cares about: how long until this battery is gone.
+///
+/// Charging shows up as a negative drain rate, which maps to an infinite
+/// time to death — exactly the "lean on the device with the charger"
+/// behaviour predictive routing wants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrainRateTracker {
+    /// EWMA weight of the newest observation, in `(0, 1]`.
+    smoothing: f64,
+    /// Remaining energy at the previous observation, `None` before the
+    /// first.
+    last_remaining_j: Option<f64>,
+    /// Smoothed drain rate in watts (negative while charging), `None` until
+    /// two observations have been made.
+    rate_w: Option<f64>,
+}
+
+impl Default for DrainRateTracker {
+    /// Smoothing of 0.25: roughly the last four windows dominate the
+    /// estimate, fast enough to track a burst, slow enough not to flap on
+    /// one idle window.
+    fn default() -> Self {
+        Self::new(0.25)
+    }
+}
+
+impl DrainRateTracker {
+    /// Creates a tracker with the given EWMA `smoothing` weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `smoothing` is in `(0, 1]`.
+    pub fn new(smoothing: f64) -> Self {
+        assert!(
+            smoothing > 0.0 && smoothing <= 1.0,
+            "EWMA smoothing must be in (0, 1]"
+        );
+        Self {
+            smoothing,
+            last_remaining_j: None,
+            rate_w: None,
+        }
+    }
+
+    /// Records that `elapsed_s` seconds after the previous observation the
+    /// battery holds `remaining_j` joules. The first observation only seeds
+    /// the baseline; every later one updates the smoothed rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `elapsed_s` is positive and finite.
+    pub fn observe(&mut self, elapsed_s: f64, remaining_j: f64) {
+        assert!(
+            elapsed_s.is_finite() && elapsed_s > 0.0,
+            "observation interval must be positive"
+        );
+        if let Some(prev) = self.last_remaining_j {
+            let instantaneous_w = (prev - remaining_j) / elapsed_s;
+            self.rate_w = Some(match self.rate_w {
+                Some(rate) => rate + self.smoothing * (instantaneous_w - rate),
+                None => instantaneous_w,
+            });
+        }
+        self.last_remaining_j = Some(remaining_j);
+    }
+
+    /// Smoothed drain rate in watts; negative while charging, 0 until two
+    /// observations have been made.
+    pub fn drain_rate_w(&self) -> f64 {
+        self.rate_w.unwrap_or(0.0)
+    }
+
+    /// Predicted milliseconds until a battery holding `remaining_j` joules
+    /// dies at the current smoothed drain rate. Returns 0 for an empty
+    /// battery and `f64::INFINITY` while the battery is charging, holding
+    /// steady, or the rate is still unobserved — a monotone *decreasing*
+    /// function of the drain rate for any fixed positive `remaining_j`.
+    pub fn time_to_death_ms(&self, remaining_j: f64) -> f64 {
+        if remaining_j <= 0.0 {
+            return 0.0;
+        }
+        match self.rate_w {
+            Some(rate) if rate > 0.0 => remaining_j / rate * 1_000.0,
+            _ => f64::INFINITY,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +297,35 @@ mod tests {
         b.charge(100.0);
         assert!((b.remaining_j() - 10.0).abs() < 1e-9);
         assert!((b.state_of_charge() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_tracker_smooths_towards_the_observed_rate() {
+        let mut tracker = DrainRateTracker::new(0.5);
+        assert_eq!(tracker.drain_rate_w(), 0.0);
+        assert_eq!(tracker.time_to_death_ms(10.0), f64::INFINITY);
+        tracker.observe(1.0, 10.0); // baseline only
+        assert_eq!(tracker.drain_rate_w(), 0.0);
+        tracker.observe(1.0, 9.0); // 1 W observed: first rate is taken as-is
+        assert!((tracker.drain_rate_w() - 1.0).abs() < 1e-12);
+        tracker.observe(1.0, 6.0); // 3 W observed: EWMA 0.5 → 2 W
+        assert!((tracker.drain_rate_w() - 2.0).abs() < 1e-12);
+        assert!((tracker.time_to_death_ms(6.0) - 3_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charging_yields_infinite_time_to_death() {
+        let mut tracker = DrainRateTracker::default();
+        tracker.observe(1.0, 5.0);
+        tracker.observe(1.0, 6.0); // net charge
+        assert!(tracker.drain_rate_w() < 0.0);
+        assert_eq!(tracker.time_to_death_ms(6.0), f64::INFINITY);
+        assert_eq!(tracker.time_to_death_ms(0.0), 0.0, "empty is dead now");
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing must be in (0, 1]")]
+    fn tracker_rejects_zero_smoothing() {
+        let _ = DrainRateTracker::new(0.0);
     }
 }

@@ -215,7 +215,10 @@ impl<'m, M: Model> ModelBank<'m, M> {
 
     /// Builds the variant for a level from scratch, bypassing the cache.
     /// Deterministic: two cold rebuilds produce bit-identical masks and
-    /// weights (the invariant the bank's caching relies on).
+    /// weights (the invariant the bank's caching relies on). The cost-model
+    /// calibration pass ([`crate::cost::calibrate`]) also builds its timing
+    /// probes through here, so measuring leaves the serving bank's
+    /// residency and LRU statistics untouched.
     ///
     /// Masks and executable weights come out of one
     /// [`combined_masks_and_weights`] pass, so a V/F switch pays a single

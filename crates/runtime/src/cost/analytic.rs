@@ -1,0 +1,95 @@
+//! The analytic cost model: predictor latency plus a *fixed* batch
+//! amortisation factor α — the pre-refactor `ServiceModel` math, preserved
+//! bit-for-bit so default-configured runs replay the golden scenarios
+//! unchanged (`tests/proptest_cost.rs` pins the exact expression).
+
+use super::{CostConfig, CostModel, LatencyModel};
+
+/// Fixed-α cost model (the default): a micro-batch of `b` requests costs
+/// `base · (α + (1 − α) · b)` at every V/F level.
+#[derive(Debug, Clone)]
+pub struct Analytic {
+    latency: LatencyModel,
+    config: CostConfig,
+}
+
+impl Analytic {
+    /// Creates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(latency: LatencyModel, config: CostConfig) -> Self {
+        config.validate().expect("invalid cost configuration");
+        Self { latency, config }
+    }
+
+    /// The fixed amortisation factor.
+    pub fn batch_alpha(&self) -> f64 {
+        self.config.batch_alpha
+    }
+}
+
+impl CostModel for Analytic {
+    fn label(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    fn service_from_base_ms(&self, _level_pos: usize, base_latency_ms: f64, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be non-empty");
+        let alpha = self.config.batch_alpha;
+        base_latency_ms * (alpha + (1.0 - alpha) * batch as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt3_hardware::{PerformancePredictor, VfLevel};
+    use rt3_transformer::TransformerConfig;
+
+    fn model(alpha: f64) -> Analytic {
+        Analytic::new(
+            LatencyModel {
+                predictor: PerformancePredictor::cortex_a7(),
+                workload_config: TransformerConfig::paper_transformer(256),
+                seq_len: 24,
+            },
+            CostConfig { batch_alpha: alpha },
+        )
+    }
+
+    #[test]
+    fn batch_of_one_costs_exactly_the_base_latency() {
+        let cost = model(0.45);
+        let level = VfLevel::odroid_level(6);
+        let base = cost.base_latency_ms(0.6, &level);
+        assert_eq!(cost.service_from_base_ms(3, base, 1), base);
+        assert_eq!(cost.service_ms(3, 0.6, &level, 1), base);
+    }
+
+    #[test]
+    fn amortisation_is_the_documented_affine_curve() {
+        let cost = model(0.45);
+        let expected = 100.0 * (0.45 + 0.55 * 4.0);
+        assert_eq!(cost.service_from_base_ms(0, 100.0, 4), expected);
+        assert!((cost.batch_alpha() - 0.45).abs() < 1e-15);
+        assert_eq!(cost.label(), "analytic");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be non-empty")]
+    fn zero_batch_panics() {
+        let _ = model(0.3).service_from_base_ms(0, 100.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost configuration")]
+    fn invalid_alpha_panics_at_construction() {
+        let _ = model(1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The rt3-cost layer: every latency/energy *prediction* the runtime makes
+//! — scheduler deadline accounting, engine admission estimates, fleet
+//! routing scores — flows through one [`CostModel`] abstraction instead of
+//! being re-derived (and re-configured) per subsystem.
+//!
+//! Two implementations ship:
+//!
+//! * [`Analytic`] — the paper's [`rt3_hardware::PerformancePredictor`]
+//!   single-request latency plus the fixed batch-amortisation factor α
+//!   (`service = base · (α + (1 − α) · batch)`), reproducing the
+//!   pre-refactor `ServiceModel` math bit-for-bit. This is the default, so
+//!   default-configured runs replay the PR 2 golden scenarios unchanged.
+//! * [`Calibrated`] — the same single-request predictor, but the
+//!   amortisation curve is *measured*: [`calibrate`] times the real
+//!   sparse-inference worker pool ([`crate::pool`]) at every micro-batch
+//!   size and V/F level and fits a per-level piecewise-linear
+//!   [`AmortisationCurve`], closing the loop between the simulated batching
+//!   model and what the compiled sparse kernels actually do.
+//!
+//! The shared [`CostConfig`] is the single source of truth for the
+//! batch-amortisation knob that `EngineConfig` and the fleet config used to
+//! duplicate (field, default *and* validation message).
+
+mod analytic;
+mod calibrated;
+
+pub use analytic::Analytic;
+pub use calibrated::{
+    calibrate, AmortisationCurve, Calibrated, CalibrationOptions, CalibrationPoint,
+    CalibrationReport, LevelCalibration,
+};
+
+use rt3_hardware::{PerformancePredictor, VfLevel};
+use rt3_sparse::SparseFormat;
+use rt3_transformer::TransformerConfig;
+
+/// Shared cost-model configuration — the single home of the
+/// batch-amortisation α that was previously copy-pasted (field and
+/// validation) between the engine and fleet configs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConfig {
+    /// Fraction of a single-request inference that is amortised across a
+    /// micro-batch (weight streaming); the rest scales per request. In
+    /// `[0, 1)`; a batch of 1 always costs exactly the predicted latency.
+    pub batch_alpha: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        Self { batch_alpha: 0.45 }
+    }
+}
+
+impl CostConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.batch_alpha) {
+            return Err("batch_alpha must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Single-request latency model shared by every [`CostModel`]
+/// implementation: the paper's predictor evaluated on the serving workload
+/// shape.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Latency predictor calibrated for the target core/cluster.
+    pub predictor: PerformancePredictor,
+    /// Model shape used for latency accounting (may be the full-size paper
+    /// shape even when the banked weights are smaller).
+    pub workload_config: TransformerConfig,
+    /// Sequence length of one request.
+    pub seq_len: usize,
+}
+
+impl LatencyModel {
+    /// Predicted latency of a single request at `sparsity` on `level`.
+    pub fn base_latency_ms(&self, sparsity: f64, level: &VfLevel) -> f64 {
+        let workload = rt3_hardware::ModelWorkload::from_config(
+            &self.workload_config,
+            sparsity,
+            self.seq_len,
+            SparseFormat::BlockPruned,
+        );
+        self.predictor.latency_ms(&workload, level)
+    }
+}
+
+/// One prediction surface for the whole runtime: single-request latency and
+/// micro-batch service time. The scheduler's deadline accounting, the
+/// engine's admission estimate, and the router's predicted-latency score
+/// all call the *same* object, so the three layers can never drift apart.
+pub trait CostModel: Send + Sync {
+    /// Short label for reports (`"analytic"` / `"calibrated"`).
+    fn label(&self) -> &'static str;
+
+    /// The shared single-request latency model.
+    fn latency_model(&self) -> &LatencyModel;
+
+    /// Predicted latency of a single request at `sparsity` on `level`.
+    fn base_latency_ms(&self, sparsity: f64, level: &VfLevel) -> f64 {
+        self.latency_model().base_latency_ms(sparsity, level)
+    }
+
+    /// Service time of a micro-batch of `batch` requests at governor level
+    /// position `level_pos`, given a precomputed single-request latency
+    /// (callers cache [`CostModel::base_latency_ms`] between level switches
+    /// instead of rebuilding the workload per batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    fn service_from_base_ms(&self, level_pos: usize, base_latency_ms: f64, batch: usize) -> f64;
+
+    /// Service time of a micro-batch of `batch` requests at `sparsity` on
+    /// `level` (position `level_pos`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    fn service_ms(&self, level_pos: usize, sparsity: f64, level: &VfLevel, batch: usize) -> f64 {
+        self.service_from_base_ms(level_pos, self.base_latency_ms(sparsity, level), batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_config_validates_alpha_range() {
+        assert!(CostConfig::default().validate().is_ok());
+        assert!(CostConfig { batch_alpha: 0.0 }.validate().is_ok());
+        let err = CostConfig { batch_alpha: 1.0 }.validate().unwrap_err();
+        assert_eq!(err, "batch_alpha must be in [0, 1)");
+        assert!(CostConfig { batch_alpha: -0.1 }.validate().is_err());
+        assert!(CostConfig {
+            batch_alpha: f64::NAN
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn latency_model_matches_the_predictor() {
+        let latency = LatencyModel {
+            predictor: PerformancePredictor::cortex_a7(),
+            workload_config: TransformerConfig::paper_transformer(256),
+            seq_len: 24,
+        };
+        let level = VfLevel::odroid_level(4);
+        let workload = rt3_hardware::ModelWorkload::from_config(
+            &latency.workload_config,
+            0.5,
+            24,
+            SparseFormat::BlockPruned,
+        );
+        assert_eq!(
+            latency.base_latency_ms(0.5, &level),
+            latency.predictor.latency_ms(&workload, &level),
+        );
+    }
+}

@@ -12,16 +12,18 @@
 
 use crate::bank::ModelBank;
 use crate::controller::{HysteresisConfig, RuntimeController, Telemetry};
+use crate::cost::{Analytic, CostConfig, CostModel, LatencyModel};
 use crate::pool;
 use crate::report::{ServeReport, WindowReport};
 use crate::scenario::Scenario;
-use crate::scheduler::{DeadlineScheduler, RejectReason, Request, SchedulerConfig, ServiceModel};
+use crate::scheduler::{DeadlineScheduler, RejectReason, Request, SchedulerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rt3_core::{Rt3Config, SearchOutcome};
-use rt3_hardware::{Battery, MemoryModel, PowerModel, VfLevel};
+use rt3_hardware::{Battery, DrainRateTracker, MemoryModel, PowerModel, VfLevel};
 use rt3_pruning::PatternSpace;
 use rt3_transformer::Model;
+use std::sync::Arc;
 
 /// Length of one simulation window in (simulated) seconds; scenario rates
 /// are per-second, so power (W) converts to energy (J) via this factor.
@@ -70,8 +72,10 @@ pub struct ServeConfig {
     pub scheduler: SchedulerConfig,
     /// Controller hysteresis.
     pub hysteresis: HysteresisConfig,
-    /// Memory-bound fraction of an inference amortised across a micro-batch.
-    pub batch_alpha: f64,
+    /// Shared cost-model configuration (batch amortisation) used to build
+    /// the default [`Analytic`] model; swap the whole model with
+    /// [`ServeEngine::set_cost_model`].
+    pub cost: CostConfig,
     /// Level-selection policy.
     pub policy: RuntimePolicy,
     /// Replay every dispatched micro-batch as real sparse inference on the
@@ -88,7 +92,7 @@ impl Default for ServeConfig {
             deadline_budget_ms: 400.0,
             scheduler: SchedulerConfig::default(),
             hysteresis: HysteresisConfig::default(),
-            batch_alpha: 0.45,
+            cost: CostConfig::default(),
             policy: RuntimePolicy::Adaptive,
             real_inference: true,
             seed: 0x7233,
@@ -109,9 +113,7 @@ impl ServeConfig {
         if self.deadline_budget_ms <= 0.0 || self.deadline_budget_ms.is_nan() {
             return Err("deadline_budget_ms must be positive".into());
         }
-        if !(0.0..1.0).contains(&self.batch_alpha) {
-            return Err("batch_alpha must be in [0, 1)".into());
-        }
+        self.cost.validate()?;
         self.scheduler.validate()?;
         self.hysteresis.validate()?;
         Ok(())
@@ -124,7 +126,7 @@ pub struct ServeEngine<'m, M: Model> {
     /// bank stays warm across runs; always `Some` between calls.
     bank: Option<ModelBank<'m, M>>,
     rt3: Rt3Config,
-    service: ServiceModel,
+    cost: Arc<dyn CostModel>,
     power: PowerModel,
     config: ServeConfig,
 }
@@ -172,16 +174,18 @@ impl<'m, M: Model> ServeEngine<'m, M> {
             MemoryModel::odroid_xu3(),
             rt3.governor.levels().len(),
         );
-        let service = ServiceModel {
-            predictor: rt3.predictor,
-            workload_config: rt3.workload_config.clone(),
-            seq_len: rt3.seq_len,
-            batch_alpha: config.batch_alpha,
-        };
+        let cost = Arc::new(Analytic::new(
+            LatencyModel {
+                predictor: rt3.predictor,
+                workload_config: rt3.workload_config.clone(),
+                seq_len: rt3.seq_len,
+            },
+            config.cost,
+        ));
         Self {
             bank: Some(bank),
             rt3,
-            service,
+            cost,
             power: PowerModel::cortex_a7(),
             config,
         }
@@ -192,9 +196,16 @@ impl<'m, M: Model> ServeEngine<'m, M> {
         self.bank.as_ref().expect("bank is restored after each run")
     }
 
-    /// The service model used for deadline accounting.
-    pub fn service_model(&self) -> &ServiceModel {
-        &self.service
+    /// The cost model used for deadline accounting and admission estimates.
+    pub fn cost_model(&self) -> &Arc<dyn CostModel> {
+        &self.cost
+    }
+
+    /// Replaces the cost model (e.g. with a [`crate::cost::Calibrated`]
+    /// model from a [`crate::cost::calibrate`] pass); subsequent runs use
+    /// it for every prediction.
+    pub fn set_cost_model(&mut self, cost: Arc<dyn CostModel>) {
+        self.cost = cost;
     }
 
     /// Single-request service time at a governor level position, using the
@@ -203,7 +214,7 @@ impl<'m, M: Model> ServeEngine<'m, M> {
         let bank = self.bank.as_mut().expect("bank is restored after each run");
         let sparsity = bank.get(level_pos).sparsity;
         let level = self.rt3.governor.levels()[level_pos];
-        self.service.base_latency_ms(sparsity, &level)
+        self.cost.base_latency_ms(sparsity, &level)
     }
 
     /// Plays `scenario` to completion and reports the outcome.
@@ -214,7 +225,7 @@ impl<'m, M: Model> ServeEngine<'m, M> {
             DeadlineScheduler::new(self.config.scheduler),
             Battery::new(self.config.battery_capacity_j),
             self.config.policy,
-            self.service.clone(),
+            Arc::clone(&self.cost),
             self.power,
             self.rt3.governor.levels().to_vec(),
             self.config.deadline_budget_ms,
@@ -287,12 +298,15 @@ pub(crate) struct DeviceSim<'m, M: Model> {
     scheduler: DeadlineScheduler,
     battery: Battery,
     policy: RuntimePolicy,
-    service: ServiceModel,
+    cost: Arc<dyn CostModel>,
     power: PowerModel,
     levels: Vec<VfLevel>,
     deadline_budget_ms: f64,
     real_inference: bool,
     workers: usize,
+    /// EWMA observer of the battery trajectory, one observation per window;
+    /// feeds the predictive router's time-to-death score.
+    drain: DrainRateTracker,
     active_level: Option<usize>,
     active_base_latency_ms: f64,
     /// Whether the current window's [`DeviceSim::begin_window`] performed a
@@ -325,7 +339,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         scheduler: DeadlineScheduler,
         battery: Battery,
         policy: RuntimePolicy,
-        service: ServiceModel,
+        cost: Arc<dyn CostModel>,
         power: PowerModel,
         levels: Vec<VfLevel>,
         deadline_budget_ms: f64,
@@ -340,12 +354,13 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             scheduler,
             battery,
             policy,
-            service,
+            cost,
             power,
             levels,
             deadline_budget_ms,
             real_inference,
             workers,
+            drain: DrainRateTracker::default(),
             active_level: None,
             active_base_latency_ms: 0.0,
             last_switched: false,
@@ -364,6 +379,17 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             checksum: 0.0,
             real_batches: 0,
         }
+    }
+
+    /// Replaces the device's cost model (fleet construction hook; must be
+    /// called before the first window so cached base latencies stay
+    /// consistent).
+    pub(crate) fn set_cost_model(&mut self, cost: Arc<dyn CostModel>) {
+        debug_assert!(
+            self.active_level.is_none(),
+            "cost model must be set before the first window"
+        );
+        self.cost = cost;
     }
 
     /// Whether the device's battery has died at some earlier window.
@@ -409,6 +435,12 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         self.deadline_budget_ms
     }
 
+    /// Predicted milliseconds until this device's battery dies at its
+    /// EWMA-smoothed drain rate (infinite while charging or unobserved).
+    pub(crate) fn time_to_death_ms(&self) -> f64 {
+        self.drain.time_to_death_ms(self.battery.remaining_j())
+    }
+
     /// Battery events, death bookkeeping, level decision and pattern-set
     /// switch for the window starting at `t_s`. Returns `false` when the
     /// device is (now) dead; the caller must then finish the window with
@@ -428,6 +460,10 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             debug_assert!(drained);
         }
         self.battery.charge(charge_j);
+        // one drain observation per window, fed by everything since the
+        // previous boundary (inference, background, switches, cliffs,
+        // charging) — the predictive router reads the smoothed rate
+        self.drain.observe(WINDOW_S, self.battery.remaining_j());
 
         if self.battery.is_empty() && self.died_at_s.is_none() {
             self.died_at_s = Some(t_s);
@@ -465,7 +501,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         if self.active_level != Some(level_pos) {
             let cost = self.bank.switch_cost(level_pos);
             let sparsity = self.bank.get(level_pos).sparsity; // lazy build
-            self.active_base_latency_ms = self.service.base_latency_ms(sparsity, &level);
+            self.active_base_latency_ms = self.cost.base_latency_ms(sparsity, &level);
             if counted_switch {
                 self.switches += 1;
                 self.switch_time_ms += cost.time_ms;
@@ -526,10 +562,11 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         let level = self.levels[level_pos];
         let base_latency = self.active_base_latency_ms;
 
-        // 4. dispatch everything that can start inside this window
-        let service = &self.service;
+        // 4. dispatch everything that can start inside this window, with
+        //    batch service times charged by the shared cost model
+        let cost = &self.cost;
         let completions = self.scheduler.dispatch(window_end_ms, level_pos, |batch| {
-            service.service_from_base_ms(base_latency, batch)
+            cost.service_from_base_ms(level_pos, base_latency, batch)
         });
 
         // 5. charge inference energy: each worker is one core of the
@@ -607,6 +644,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         let report = ServeReport {
             scenario,
             policy,
+            cost_model: self.cost.label().to_string(),
             windows: self.windows,
             arrivals: self.arrivals_total,
             completed: self.completed,

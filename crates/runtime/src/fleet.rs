@@ -21,15 +21,24 @@
 //! or rejecting. Dead devices are never ranked, so they never receive
 //! traffic.
 //!
+//! [`RoutingPolicy::Predictive`] keeps the same formula but swaps the raw
+//! state-of-charge term for *predicted time to death*: each device's EWMA
+//! [`rt3_hardware::DrainRateTracker`] turns its battery trajectory into a
+//! drain rate, and the router ranks by `min(time_to_death / horizon, 1)`.
+//! That is what distinguishes "full battery draining fast" from "half
+//! battery on a charger" — the CloneCloud-style offline-profiled cost model
+//! steering online placement.
+//!
 //! Round-robin and sticky baselines share the same failover machinery and
 //! differ only in the preference order, which keeps the comparison in
 //! `examples/serve_fleet.rs` honest: battery awareness is the only delta.
 
 use crate::controller::{HysteresisConfig, RuntimeController};
+use crate::cost::{Analytic, CostConfig, CostModel, LatencyModel};
 use crate::engine::{DeviceSim, RuntimePolicy, WINDOW_MS, WINDOW_S};
 use crate::report::FleetReport;
 use crate::scenario::FleetScenario;
-use crate::scheduler::{DeadlineScheduler, Request, SchedulerConfig, ServiceModel};
+use crate::scheduler::{DeadlineScheduler, Request, SchedulerConfig};
 use crate::ModelBank;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,13 +46,19 @@ use rt3_core::{Rt3Config, SearchOutcome};
 use rt3_hardware::{Battery, MemoryModel, PowerModel};
 use rt3_pruning::PatternSpace;
 use rt3_transformer::Model;
+use std::sync::Arc;
 
 /// How the router orders devices for each arriving request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingPolicy {
-    /// Score devices by battery headroom, V/F level, queue depth and
-    /// predicted service latency; highest score first.
+    /// Score devices by battery headroom (raw state of charge), V/F level,
+    /// queue depth and predicted service latency; highest score first.
     BatteryAware,
+    /// Like [`RoutingPolicy::BatteryAware`] but the headroom term is the
+    /// *predicted time to death* from the device's EWMA drain rate,
+    /// normalised by [`RouterConfig::ttd_horizon_ms`] — a charging device
+    /// outranks a full one that is burning down.
+    Predictive,
     /// Cycle through alive devices request by request, ignoring state.
     RoundRobin,
     /// Keep hammering the current device until it dies or rejects, then
@@ -56,6 +71,7 @@ impl RoutingPolicy {
     pub fn label(&self) -> &'static str {
         match self {
             RoutingPolicy::BatteryAware => "battery-aware",
+            RoutingPolicy::Predictive => "predictive",
             RoutingPolicy::RoundRobin => "round-robin",
             RoutingPolicy::Sticky => "sticky",
         }
@@ -115,8 +131,13 @@ impl RoutingWeights {
 pub struct RouterConfig {
     /// Preference-order policy.
     pub policy: RoutingPolicy,
-    /// Score weights (used by [`RoutingPolicy::BatteryAware`]).
+    /// Score weights (used by [`RoutingPolicy::BatteryAware`] and
+    /// [`RoutingPolicy::Predictive`]).
     pub weights: RoutingWeights,
+    /// Horizon normalising the predictive policy's time-to-death term: a
+    /// device predicted to survive at least this long counts as full
+    /// headroom. Must be positive.
+    pub ttd_horizon_ms: f64,
 }
 
 impl Default for RouterConfig {
@@ -124,7 +145,24 @@ impl Default for RouterConfig {
         Self {
             policy: RoutingPolicy::BatteryAware,
             weights: RoutingWeights::default(),
+            // two minutes: on the mobile traces here a device with minutes
+            // of predicted life left is, for routing purposes, healthy
+            ttd_horizon_ms: 120_000.0,
         }
+    }
+}
+
+impl RouterConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.ttd_horizon_ms.is_finite() && self.ttd_horizon_ms > 0.0) {
+            return Err("ttd_horizon_ms must be positive and finite".into());
+        }
+        self.weights.validate()
     }
 }
 
@@ -149,6 +187,10 @@ pub struct DeviceSnapshot {
     pub predicted_latency_ms: f64,
     /// Per-request deadline budget, for normalising the latency term.
     pub deadline_budget_ms: f64,
+    /// Predicted milliseconds until the device's battery dies at its
+    /// smoothed drain rate (`f64::INFINITY` while charging or unobserved);
+    /// the headroom term of [`RoutingPolicy::Predictive`].
+    pub time_to_death_ms: f64,
 }
 
 /// Assigns arriving requests to devices; deterministic for a fixed sequence
@@ -167,9 +209,9 @@ impl Router {
     ///
     /// # Panics
     ///
-    /// Panics if the weights are invalid.
+    /// Panics if the configuration is invalid.
     pub fn new(config: RouterConfig) -> Self {
-        config.weights.validate().expect("invalid routing weights");
+        config.validate().expect("invalid router configuration");
         Self {
             config,
             rr_next: 0,
@@ -182,9 +224,18 @@ impl Router {
         self.config.policy
     }
 
-    /// Battery-aware score of one device (higher = preferred).
+    /// Score of one device (higher = preferred). The headroom term is the
+    /// raw state of charge for [`RoutingPolicy::BatteryAware`] and the
+    /// horizon-normalised time to death for [`RoutingPolicy::Predictive`];
+    /// every other term is shared.
     pub fn score(&self, snapshot: &DeviceSnapshot) -> f64 {
         let w = self.config.weights;
+        let headroom_share = match self.config.policy {
+            RoutingPolicy::Predictive => {
+                (snapshot.time_to_death_ms / self.config.ttd_horizon_ms).min(1.0)
+            }
+            _ => snapshot.state_of_charge,
+        };
         let level_share = if snapshot.levels == 0 {
             0.0
         } else {
@@ -200,7 +251,7 @@ impl Router {
         } else {
             0.0
         };
-        w.headroom * snapshot.state_of_charge + w.level * level_share
+        w.headroom * headroom_share + w.level * level_share
             - w.queue * queue_share
             - w.latency * latency_share
     }
@@ -220,7 +271,7 @@ impl Router {
             return alive;
         }
         match self.config.policy {
-            RoutingPolicy::BatteryAware => {
+            RoutingPolicy::BatteryAware | RoutingPolicy::Predictive => {
                 let mut scored: Vec<(f64, usize)> = alive
                     .into_iter()
                     .map(|i| (self.score(&snapshots[i]), i))
@@ -254,7 +305,7 @@ impl Router {
                     self.sticky_home = placed;
                 }
             }
-            RoutingPolicy::BatteryAware => {}
+            RoutingPolicy::BatteryAware | RoutingPolicy::Predictive => {}
         }
     }
 }
@@ -280,8 +331,10 @@ pub struct FleetConfig {
     pub scheduler: SchedulerConfig,
     /// Controller hysteresis of every device.
     pub hysteresis: HysteresisConfig,
-    /// Memory-bound fraction of an inference amortised across a micro-batch.
-    pub batch_alpha: f64,
+    /// Shared cost-model configuration (batch amortisation) used to build
+    /// the default [`Analytic`] model for every device; swap the whole
+    /// model with [`Fleet::with_cost_model`].
+    pub cost: CostConfig,
     /// Replay dispatched micro-batches as real sparse inference on every
     /// device's worker pool.
     pub real_inference: bool,
@@ -296,7 +349,7 @@ impl Default for FleetConfig {
             deadline_budget_ms: 400.0,
             scheduler: SchedulerConfig::default(),
             hysteresis: HysteresisConfig::default(),
-            batch_alpha: 0.45,
+            cost: CostConfig::default(),
             real_inference: true,
             seed: 0x7233,
         }
@@ -313,10 +366,8 @@ impl FleetConfig {
         if self.deadline_budget_ms <= 0.0 || self.deadline_budget_ms.is_nan() {
             return Err("deadline_budget_ms must be positive".into());
         }
-        if !(0.0..1.0).contains(&self.batch_alpha) {
-            return Err("batch_alpha must be in [0, 1)".into());
-        }
-        self.router.weights.validate()?;
+        self.cost.validate()?;
+        self.router.validate()?;
         self.scheduler.validate()?;
         self.hysteresis.validate()?;
         Ok(())
@@ -365,12 +416,14 @@ impl<'m, M: Model> Fleet<'m, M> {
             rt3.governor.levels().len(),
             "one action per governor level is required"
         );
-        let service = ServiceModel {
-            predictor: rt3.predictor,
-            workload_config: rt3.workload_config.clone(),
-            seq_len: rt3.seq_len,
-            batch_alpha: config.batch_alpha,
-        };
+        let cost: Arc<dyn CostModel> = Arc::new(Analytic::new(
+            LatencyModel {
+                predictor: rt3.predictor,
+                workload_config: rt3.workload_config.clone(),
+                seq_len: rt3.seq_len,
+            },
+            config.cost,
+        ));
         let levels = rt3.governor.levels().to_vec();
         let duration_s = scenario.duration_s();
         let devices = scenario
@@ -397,7 +450,7 @@ impl<'m, M: Model> Fleet<'m, M> {
                     DeadlineScheduler::new(config.scheduler),
                     battery,
                     RuntimePolicy::Adaptive,
-                    service.clone(),
+                    Arc::clone(&cost),
                     PowerModel::cortex_a7(),
                     levels.clone(),
                     config.deadline_budget_ms,
@@ -412,6 +465,17 @@ impl<'m, M: Model> Fleet<'m, M> {
             config,
             scenario: scenario.clone(),
         }
+    }
+
+    /// Replaces every device's cost model (e.g. with a
+    /// [`crate::cost::Calibrated`] model from a [`crate::cost::calibrate`]
+    /// pass) before the trace is played.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: Arc<dyn CostModel>) -> Self {
+        for device in &mut self.devices {
+            device.set_cost_model(Arc::clone(&cost));
+        }
+        self
     }
 
     /// Number of devices in the fleet.
@@ -531,6 +595,7 @@ impl<'m, M: Model> Fleet<'m, M> {
             queue_capacity: device.queue_capacity(),
             predicted_latency_ms: device.predicted_latency_ms(arrival_ms),
             deadline_budget_ms: device.deadline_budget_ms(),
+            time_to_death_ms: device.time_to_death_ms(),
         }
     }
 }
@@ -549,6 +614,14 @@ mod tests {
             queue_capacity: 64,
             predicted_latency_ms: predicted_ms,
             deadline_budget_ms: 400.0,
+            time_to_death_ms: 60_000.0,
+        }
+    }
+
+    fn router_config(policy: RoutingPolicy) -> RouterConfig {
+        RouterConfig {
+            policy,
+            ..RouterConfig::default()
         }
     }
 
@@ -566,6 +639,49 @@ mod tests {
     }
 
     #[test]
+    fn predictive_ranks_by_time_to_death_not_state_of_charge() {
+        let router = Router::new(router_config(RoutingPolicy::Predictive));
+        // full battery draining fast vs half battery on a charger: raw
+        // headroom prefers the first, predictive routing the second
+        let mut fast_drain = snap(true, 1.0, 0, 50.0);
+        fast_drain.time_to_death_ms = 20_000.0;
+        let mut charging = snap(true, 0.5, 0, 50.0);
+        charging.time_to_death_ms = f64::INFINITY;
+        let snapshots = vec![fast_drain, charging];
+        assert_eq!(router.order(&snapshots), vec![1, 0]);
+        let headroom = Router::new(RouterConfig::default());
+        assert_eq!(headroom.order(&snapshots), vec![0, 1], "soc ranks inverse");
+    }
+
+    #[test]
+    fn predictive_headroom_saturates_at_the_horizon() {
+        let router = Router::new(router_config(RoutingPolicy::Predictive));
+        let mut at_horizon = snap(true, 0.3, 0, 50.0);
+        at_horizon.time_to_death_ms = 120_000.0;
+        let mut beyond = snap(true, 0.3, 0, 50.0);
+        beyond.time_to_death_ms = 500_000.0;
+        assert_eq!(
+            router.score(&at_horizon),
+            router.score(&beyond),
+            "time to death beyond the horizon adds no further score"
+        );
+        assert_eq!(
+            router.order(&[at_horizon, beyond]),
+            vec![0, 1],
+            "saturated tie breaks on the device index"
+        );
+    }
+
+    #[test]
+    fn router_rejects_a_non_positive_horizon() {
+        let config = RouterConfig {
+            ttd_horizon_ms: 0.0,
+            ..RouterConfig::default()
+        };
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
     fn queue_and_latency_pressure_override_equal_headroom() {
         let router = Router::new(RouterConfig::default());
         let snapshots = vec![
@@ -577,10 +693,7 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_and_skips_dead_devices() {
-        let mut router = Router::new(RouterConfig {
-            policy: RoutingPolicy::RoundRobin,
-            weights: RoutingWeights::default(),
-        });
+        let mut router = Router::new(router_config(RoutingPolicy::RoundRobin));
         let snapshots = vec![
             snap(true, 0.9, 0, 50.0),
             snap(false, 0.9, 0, 50.0),
@@ -601,10 +714,7 @@ mod tests {
 
     #[test]
     fn sticky_holds_its_home_until_it_fails_over() {
-        let mut router = Router::new(RouterConfig {
-            policy: RoutingPolicy::Sticky,
-            weights: RoutingWeights::default(),
-        });
+        let mut router = Router::new(router_config(RoutingPolicy::Sticky));
         let all_alive = vec![
             snap(true, 0.9, 0, 50.0),
             snap(true, 0.9, 0, 50.0),

@@ -12,9 +12,13 @@
 //!   switch-cost accounting from [`rt3_hardware::MemoryModel`].
 //! * [`RuntimeController`] — the paper's battery governor plus dwell-window
 //!   and state-of-charge hysteresis, with thermal-cap clamping.
-//! * [`DeadlineScheduler`] / [`ServiceModel`] — bounded queue, admission
-//!   control, greedy micro-batching and simulated workers whose service
-//!   times come from the paper's [`rt3_hardware::PerformancePredictor`].
+//! * [`cost`] — the unified cost-model layer behind every prediction:
+//!   the [`CostModel`] trait with the default fixed-α [`Analytic`] model
+//!   and the pool-measured [`Calibrated`] model (see [`calibrate`]).
+//! * [`DeadlineScheduler`] — bounded queue, admission control, greedy
+//!   micro-batching and simulated workers whose service times come from
+//!   the shared cost model over the paper's
+//!   [`rt3_hardware::PerformancePredictor`].
 //! * [`pool`] — a real multi-threaded worker pool that replays every
 //!   dispatched micro-batch as actual pattern-pruned sparse matmuls.
 //! * [`Scenario`] — trace-driven workloads (constant drain, bursty traffic,
@@ -24,8 +28,8 @@
 //!   and switch counts.
 //! * [`Fleet`] / [`Router`] — cross-device sharding: N simulated devices
 //!   (each with its own battery, controller, bank and scheduler) behind a
-//!   battery-headroom router with failover, played from a
-//!   [`FleetScenario`] into a [`FleetReport`].
+//!   battery-headroom or predictive (time-to-death) router with failover,
+//!   played from a [`FleetScenario`] into a [`FleetReport`].
 //!
 //! # Examples
 //!
@@ -63,6 +67,7 @@
 
 mod bank;
 mod controller;
+pub mod cost;
 mod engine;
 mod fleet;
 pub mod pool;
@@ -72,15 +77,17 @@ mod scheduler;
 
 pub use bank::{BankStats, BankedModel, InferScratch, ModelBank};
 pub use controller::{HysteresisConfig, LevelDecision, RuntimeController, Telemetry};
+pub use cost::{
+    calibrate, AmortisationCurve, Analytic, Calibrated, CalibrationOptions, CalibrationReport,
+    CostConfig, CostModel, LatencyModel,
+};
 pub use engine::{RuntimePolicy, ServeConfig, ServeEngine};
 pub use fleet::{
     DeviceSnapshot, Fleet, FleetConfig, Router, RouterConfig, RoutingPolicy, RoutingWeights,
 };
 pub use report::{FleetReport, ServeReport, WindowReport};
 pub use scenario::{DeviceProfile, FleetScenario, Scenario};
-pub use scheduler::{
-    Completion, DeadlineScheduler, RejectReason, Request, SchedulerConfig, ServiceModel,
-};
+pub use scheduler::{Completion, DeadlineScheduler, RejectReason, Request, SchedulerConfig};
 
 #[cfg(test)]
 mod tests {
@@ -266,7 +273,7 @@ mod tests {
         let fleet_cfg = FleetConfig {
             router: RouterConfig {
                 policy,
-                weights: RoutingWeights::default(),
+                ..RouterConfig::default()
             },
             ..fleet_config()
         };
@@ -274,6 +281,59 @@ mod tests {
             &model, masks, &space, &outcome, &config, scenario, fleet_cfg,
         );
         fleet.run()
+    }
+
+    #[test]
+    fn calibrated_cost_model_swaps_into_the_engine() {
+        use std::sync::Arc;
+        let (model, masks, space, outcome, config) = offline_artifacts();
+        let scenario = Scenario::ConstantDrain {
+            duration_s: 20,
+            rps: 3.0,
+            background_w: 0.2,
+        };
+        let mut engine = ServeEngine::new(
+            &model,
+            masks,
+            &space,
+            &outcome,
+            config.clone(),
+            serve_config(),
+        );
+        let analytic = engine.run(&scenario);
+        assert_eq!(analytic.cost_model, "analytic");
+        // a synthetic measured curve (flat amortisation: batches are cheap)
+        let curves = vec![
+            AmortisationCurve::from_raw(&[1.0, 1.1, 1.15, 1.18]);
+            config.governor.levels().len()
+        ];
+        let latency = LatencyModel {
+            predictor: config.predictor,
+            workload_config: config.workload_config.clone(),
+            seq_len: config.seq_len,
+        };
+        engine.set_cost_model(Arc::new(Calibrated::new(latency, curves)));
+        let calibrated = engine.run(&scenario);
+        assert_eq!(calibrated.cost_model, "calibrated");
+        assert!(calibrated.completed > 0);
+        assert_eq!(
+            calibrated.arrivals, analytic.arrivals,
+            "the arrival process is independent of the cost model"
+        );
+        // cheaper batches can only speed the tail up
+        assert!(calibrated.p95_ms() <= analytic.p95_ms());
+    }
+
+    #[test]
+    fn predictive_fleet_run_is_deterministic_and_serves() {
+        let scenario = FleetScenario::heterogeneous_cliff();
+        let a = run_fleet(RoutingPolicy::Predictive, &scenario);
+        let b = run_fleet(RoutingPolicy::Predictive, &scenario);
+        assert_eq!(a, b, "same seed and trace must replay identically");
+        assert_eq!(a.routing, "predictive");
+        assert!(a.completed() > 0);
+        let routed: u64 = a.devices.iter().map(|d| d.arrivals).sum();
+        assert_eq!(routed + a.unroutable, a.arrivals);
     }
 
     #[test]

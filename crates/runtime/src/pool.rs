@@ -21,6 +21,17 @@ pub struct PoolOutcome {
     pub checksum: f64,
 }
 
+/// [`run_batches`] with a wall-clock measurement: returns the outcome plus
+/// the elapsed milliseconds. This is the probe of the cost-model
+/// calibration pass ([`crate::cost::calibrate`]): timing the *real* compiled
+/// sparse kernels at each micro-batch size is what replaces the assumed
+/// fixed amortisation α with a measured curve.
+pub fn time_batches(model: &BankedModel, batches: &[usize], workers: usize) -> (PoolOutcome, f64) {
+    let start = std::time::Instant::now();
+    let outcome = run_batches(model, batches, workers);
+    (outcome, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
 /// Runs each batch size in `batches` through `model` as a real sparse
 /// forward pass, using up to `workers` OS threads.
 ///
@@ -109,5 +120,14 @@ mod tests {
         let outcome = run_batches(&model, &[], 4);
         assert_eq!(outcome.batches, 0);
         assert_eq!(outcome.checksum, 0.0);
+    }
+
+    #[test]
+    fn timed_run_matches_the_untimed_outcome() {
+        let model = banked();
+        let batches = vec![2, 3, 1];
+        let (timed, elapsed_ms) = time_batches(&model, &batches, 2);
+        assert_eq!(timed, run_batches(&model, &batches, 2));
+        assert!(elapsed_ms.is_finite() && elapsed_ms >= 0.0);
     }
 }

@@ -30,6 +30,9 @@ pub struct ServeReport {
     pub scenario: String,
     /// Policy label ("adaptive" or "fixed-l<index>").
     pub policy: String,
+    /// Cost-model label ("analytic" or "calibrated") the run's predictions
+    /// came from.
+    pub cost_model: String,
     /// Per-window trace.
     pub windows: Vec<WindowReport>,
     /// Total arrivals over the trace.
@@ -306,6 +309,7 @@ mod tests {
         ServeReport {
             scenario: "test".into(),
             policy: "adaptive".into(),
+            cost_model: "analytic".into(),
             windows: Vec::new(),
             arrivals: 10,
             completed: latencies.len() as u64,

@@ -2,67 +2,17 @@
 //! greedy micro-batching over a pool of simulated workers.
 //!
 //! Time is simulated: the engine advances a millisecond clock and the
-//! scheduler tracks when each worker frees up. Service times come from a
-//! [`ServiceModel`] wrapping the paper's [`PerformancePredictor`] — for a
-//! batch of one, the charged time **is** the predictor's latency at the
-//! active V/F level (the property test in `tests/proptest_runtime.rs` pins
-//! this), and larger micro-batches amortise the memory-bound fraction of an
-//! inference across requests.
+//! scheduler tracks when each worker frees up. Service times come from the
+//! shared [`crate::cost::CostModel`] — for a batch of one, the charged time
+//! **is** the predictor's latency at the active V/F level (the property
+//! test in `tests/proptest_cost.rs` pins this), and larger micro-batches
+//! amortise the memory-bound fraction of an inference across requests
+//! through the model's fixed-α or measured curve. The scheduler itself
+//! stays model-agnostic: [`DeadlineScheduler::dispatch`] takes a
+//! `batch → service time` closure, so there is exactly one place (the
+//! device simulation) where the cost model is consulted.
 
-use rt3_hardware::{PerformancePredictor, VfLevel};
-use rt3_sparse::SparseFormat;
-use rt3_transformer::TransformerConfig;
 use std::collections::VecDeque;
-
-/// Latency model of one served batch.
-#[derive(Debug, Clone)]
-pub struct ServiceModel {
-    /// Latency predictor calibrated for the target core/cluster.
-    pub predictor: PerformancePredictor,
-    /// Model shape used for latency accounting (may be the full-size paper
-    /// shape even when the banked weights are smaller).
-    pub workload_config: TransformerConfig,
-    /// Sequence length of one request.
-    pub seq_len: usize,
-    /// Fraction of a single-request inference that is amortised across a
-    /// micro-batch (weight streaming); the rest scales per request. In
-    /// `[0, 1)`; batch of 1 always costs exactly the predicted latency.
-    pub batch_alpha: f64,
-}
-
-impl ServiceModel {
-    /// Predicted latency of a single request at `sparsity` on `level`.
-    pub fn base_latency_ms(&self, sparsity: f64, level: &VfLevel) -> f64 {
-        let workload = rt3_hardware::ModelWorkload::from_config(
-            &self.workload_config,
-            sparsity,
-            self.seq_len,
-            SparseFormat::BlockPruned,
-        );
-        self.predictor.latency_ms(&workload, level)
-    }
-
-    /// Service time of a micro-batch of `batch` requests.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `batch` is zero.
-    pub fn service_ms(&self, sparsity: f64, level: &VfLevel, batch: usize) -> f64 {
-        self.service_from_base_ms(self.base_latency_ms(sparsity, level), batch)
-    }
-
-    /// Service time of a micro-batch given a precomputed single-request
-    /// latency (lets callers cache [`ServiceModel::base_latency_ms`] between
-    /// level switches instead of rebuilding the workload per batch).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `batch` is zero.
-    pub fn service_from_base_ms(&self, base_latency_ms: f64, batch: usize) -> f64 {
-        assert!(batch > 0, "batch must be non-empty");
-        base_latency_ms * (self.batch_alpha + (1.0 - self.batch_alpha) * batch as f64)
-    }
-}
 
 /// Scheduler parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -6,15 +6,17 @@
 //!    order, so no request is dropped while at least one device is
 //!    admissible;
 //! 3. ranking is deterministic for a fixed router state, for every policy;
-//! 4. the battery-aware order is sorted by the published score.
+//! 4. the scored orders (battery-aware and predictive) are sorted by the
+//!    published score.
 
 use proptest::prelude::*;
-use rt3_runtime::{DeviceSnapshot, Router, RouterConfig, RoutingPolicy, RoutingWeights};
+use rt3_runtime::{DeviceSnapshot, Router, RouterConfig, RoutingPolicy};
 
 fn policy_of(index: usize) -> RoutingPolicy {
-    match index % 3 {
+    match index % 4 {
         0 => RoutingPolicy::BatteryAware,
-        1 => RoutingPolicy::RoundRobin,
+        1 => RoutingPolicy::Predictive,
+        2 => RoutingPolicy::RoundRobin,
         _ => RoutingPolicy::Sticky,
     }
 }
@@ -29,6 +31,13 @@ fn snapshot_of((alive, soc, queue_len, predicted_ms): (usize, f64, usize, f64)) 
         queue_capacity: 64,
         predicted_latency_ms: predicted_ms,
         deadline_budget_ms: 400.0,
+        // derived, not drawn: keeps the generator small while still varying
+        // the predictive policy's headroom term (charging devices included)
+        time_to_death_ms: if queue_len % 5 == 0 {
+            f64::INFINITY
+        } else {
+            soc * 200_000.0
+        },
     }
 }
 
@@ -44,13 +53,13 @@ proptest! {
             (0usize..2, 0.0f64..1.0, 0usize..64, 0.0f64..500.0),
             1..10,
         ),
-        policy_index in 0usize..3,
+        policy_index in 0usize..4,
         advance in 0usize..7,
     ) {
         let snapshots: Vec<DeviceSnapshot> = raw.into_iter().map(snapshot_of).collect();
         let mut router = Router::new(RouterConfig {
             policy: policy_of(policy_index),
-            weights: RoutingWeights::default(),
+            ..RouterConfig::default()
         });
         // move the round-robin / sticky cursors to an arbitrary position
         for step in 0..advance {
@@ -81,29 +90,34 @@ proptest! {
             (0usize..2, 0.0f64..1.0, 0usize..64, 0.0f64..500.0),
             1..10,
         ),
-        policy_index in 0usize..3,
+        policy_index in 0usize..4,
     ) {
         let snapshots: Vec<DeviceSnapshot> = raw.into_iter().map(snapshot_of).collect();
         let router = Router::new(RouterConfig {
             policy: policy_of(policy_index),
-            weights: RoutingWeights::default(),
+            ..RouterConfig::default()
         });
         let first = router.order(&snapshots);
         let second = router.order(&snapshots);
         prop_assert_eq!(first, second, "order must be a pure function of state");
     }
 
-    /// The battery-aware order descends in score (ties broken by index), so
-    /// the published formula really is the routing behaviour.
+    /// The scored orders (battery-aware and predictive) descend in score
+    /// (ties broken by index), so the published formula really is the
+    /// routing behaviour.
     #[test]
     fn battery_aware_order_descends_in_score(
         raw in proptest::collection::vec(
             (0usize..2, 0.0f64..1.0, 0usize..64, 0.0f64..500.0),
             1..10,
         ),
+        scored_policy in 0usize..2,
     ) {
         let snapshots: Vec<DeviceSnapshot> = raw.into_iter().map(snapshot_of).collect();
-        let router = Router::new(RouterConfig::default());
+        let router = Router::new(RouterConfig {
+            policy: policy_of(scored_policy),
+            ..RouterConfig::default()
+        });
         let order = router.order(&snapshots);
         for pair in order.windows(2) {
             let (a, b) = (

@@ -14,8 +14,8 @@ use rt3_pruning::{
     block_prune_model, generate_pattern_space, BlockPruningConfig, PatternSpaceConfig,
 };
 use rt3_runtime::{
-    DeadlineScheduler, HysteresisConfig, ModelBank, Request, RuntimeController, SchedulerConfig,
-    ServiceModel, Telemetry,
+    Analytic, CostConfig, CostModel, DeadlineScheduler, HysteresisConfig, LatencyModel, ModelBank,
+    Request, RuntimeController, SchedulerConfig, Telemetry,
 };
 use rt3_sparse::SparseFormat;
 use rt3_transformer::{TransformerConfig, TransformerLm};
@@ -118,27 +118,29 @@ proptest! {
         batch in 1usize..8,
         batch_alpha in 0.0f64..0.9,
     ) {
-        let service = ServiceModel {
-            predictor: PerformancePredictor::cortex_a7(),
-            workload_config: TransformerConfig::paper_transformer(512),
-            seq_len: 24,
-            batch_alpha,
-        };
+        let cost = Analytic::new(
+            LatencyModel {
+                predictor: PerformancePredictor::cortex_a7(),
+                workload_config: TransformerConfig::paper_transformer(512),
+                seq_len: 24,
+            },
+            CostConfig { batch_alpha },
+        );
         let level = VfLevel::odroid_level(level_index);
         let workload = ModelWorkload::from_config(
-            &service.workload_config,
+            &cost.latency_model().workload_config,
             sparsity,
-            service.seq_len,
+            cost.latency_model().seq_len,
             SparseFormat::BlockPruned,
         );
-        let predicted = service.predictor.latency_ms(&workload, &level);
+        let predicted = cost.latency_model().predictor.latency_ms(&workload, &level);
 
-        // the service model agrees with the predictor bit-for-bit at batch 1
-        prop_assert!(service.base_latency_ms(sparsity, &level) == predicted);
-        prop_assert!(service.service_ms(sparsity, &level, 1) == predicted);
+        // the cost model agrees with the predictor bit-for-bit at batch 1
+        prop_assert!(cost.base_latency_ms(sparsity, &level) == predicted);
+        prop_assert!(cost.service_ms(0, sparsity, &level, 1) == predicted);
         let expected_batch =
             predicted * (batch_alpha + (1.0 - batch_alpha) * batch as f64);
-        prop_assert!((service.service_ms(sparsity, &level, batch) - expected_batch).abs() < 1e-9);
+        prop_assert!((cost.service_ms(0, sparsity, &level, batch) - expected_batch).abs() < 1e-9);
 
         // and the scheduler charges exactly that service time on the clock
         let mut scheduler = DeadlineScheduler::new(SchedulerConfig {
@@ -153,7 +155,7 @@ proptest! {
         };
         prop_assert!(scheduler.submit(request, predicted).is_ok());
         let done = scheduler.dispatch(f64::INFINITY, 0, |b| {
-            service.service_ms(sparsity, &level, b)
+            cost.service_ms(0, sparsity, &level, b)
         });
         prop_assert_eq!(done.len(), 1);
         prop_assert!(done[0].start_ms == arrival_ms, "idle worker starts at arrival");
