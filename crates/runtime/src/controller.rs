@@ -125,6 +125,12 @@ impl RuntimeController {
         self.switches
     }
 
+    /// Milliseconds since the last switch — the dwell the hysteresis
+    /// compares against. Infinite before the first decision.
+    pub fn ms_since_last_switch(&self, now_ms: f64) -> f64 {
+        now_ms - self.last_switch_ms
+    }
+
     /// Raw governor target for a state of charge, without hysteresis.
     pub fn raw_target(&self, state_of_charge: f64) -> usize {
         self.governor

@@ -10,18 +10,22 @@
 //! dispatches that window's arrivals. Dispatched micro-batches are also
 //! replayed as real sparse inference on the [`crate::pool`] worker pool.
 
-use crate::bank::ModelBank;
+use crate::bank::{BankStats, ModelBank};
 use crate::controller::{HysteresisConfig, RuntimeController, Telemetry};
 use crate::cost::{Analytic, CostConfig, CostModel, LatencyModel};
 use crate::pool;
 use crate::report::{ServeReport, WindowReport};
 use crate::scenario::Scenario;
 use crate::scheduler::{DeadlineScheduler, RejectReason, Request, SchedulerConfig};
+use crate::telemetry::DeviceTelemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rt3_core::{Rt3Config, SearchOutcome};
 use rt3_hardware::{Battery, DrainRateTracker, MemoryModel, PowerModel, VfLevel};
 use rt3_pruning::PatternSpace;
+use rt3_telemetry::{
+    DecisionRecord, StreamingHistogram, TelemetryConfig, TraceEvent, TraceEventKind, WallClock,
+};
 use rt3_transformer::Model;
 use std::sync::Arc;
 
@@ -83,6 +87,9 @@ pub struct ServeConfig {
     pub real_inference: bool,
     /// Traffic seed.
     pub seed: u64,
+    /// What the run records ([`rt3_telemetry::TelemetryLevel::Off`] by
+    /// default — behaviour and output identical to an uninstrumented build).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +103,7 @@ impl Default for ServeConfig {
             policy: RuntimePolicy::Adaptive,
             real_inference: true,
             seed: 0x7233,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -116,6 +124,7 @@ impl ServeConfig {
         self.cost.validate()?;
         self.scheduler.validate()?;
         self.hysteresis.validate()?;
+        self.telemetry.validate()?;
         Ok(())
     }
 }
@@ -231,6 +240,7 @@ impl<'m, M: Model> ServeEngine<'m, M> {
             self.config.deadline_budget_ms,
             self.config.real_inference,
             scenario.duration_s(),
+            DeviceTelemetry::new(self.config.telemetry, Arc::new(WallClock::new())),
         );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut next_id = 0u64;
@@ -312,9 +322,16 @@ pub(crate) struct DeviceSim<'m, M: Model> {
     /// Whether the current window's [`DeviceSim::begin_window`] performed a
     /// counted pattern-set switch (recorded on the window report).
     last_switched: bool,
+    /// Telemetry recording state (`None` when the level is `Off`, which
+    /// keeps the hot path identical to an uninstrumented build).
+    telemetry: Option<DeviceTelemetry>,
+    /// Bank statistics already folded into the telemetry counters; the
+    /// per-window delta against [`ModelBank::stats`] is what gets recorded
+    /// (the bank may arrive pre-warmed from an earlier run).
+    bank_stats_seen: BankStats,
     // report accumulators
     windows: Vec<WindowReport>,
-    latencies: Vec<f64>,
+    latency_hist: StreamingHistogram,
     runs_per_level: Vec<u64>,
     arrivals_total: u64,
     completed: u64,
@@ -345,9 +362,11 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         deadline_budget_ms: f64,
         real_inference: bool,
         duration_hint_s: u32,
+        telemetry: Option<DeviceTelemetry>,
     ) -> Self {
         let workers = scheduler.workers();
         let level_count = levels.len();
+        let bank_stats_seen = bank.stats();
         Self {
             bank,
             controller,
@@ -364,8 +383,10 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             active_level: None,
             active_base_latency_ms: 0.0,
             last_switched: false,
+            telemetry,
+            bank_stats_seen,
             windows: Vec::with_capacity(duration_hint_s as usize),
-            latencies: Vec::new(),
+            latency_hist: StreamingHistogram::new(),
             runs_per_level: vec![0; level_count],
             arrivals_total: 0,
             completed: 0,
@@ -465,12 +486,33 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         // charging) — the predictive router reads the smoothed rate
         self.drain.observe(WINDOW_S, self.battery.remaining_j());
 
+        if let Some(t) = &mut self.telemetry {
+            t.shard
+                .set(t.ids.state_of_charge, self.battery.state_of_charge());
+            t.shard.set(t.ids.drain_rate_w, self.drain.drain_rate_w());
+            t.shard.set(
+                t.ids.time_to_death_ms,
+                self.drain.time_to_death_ms(self.battery.remaining_j()),
+            );
+        }
+
         if self.battery.is_empty() && self.died_at_s.is_none() {
             self.died_at_s = Some(t_s);
         }
         if self.died_at_s.is_some() {
             return false;
         }
+
+        // the dwell must be read *before* the decision (a switch resets it);
+        // the other audit inputs are captured alongside for the record
+        let audit_inputs = match &self.telemetry {
+            Some(t) if t.full() => Some((
+                self.controller.ms_since_last_switch(now_ms),
+                self.drain.time_to_death_ms(self.battery.remaining_j()),
+                self.battery.state_of_charge(),
+            )),
+            _ => None,
+        };
 
         // 1. telemetry + level decision
         let decision = match self.policy {
@@ -500,7 +542,19 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         let counted_switch = self.active_level.is_some() && self.active_level != Some(level_pos);
         if self.active_level != Some(level_pos) {
             let cost = self.bank.switch_cost(level_pos);
+            let build_timer = self
+                .telemetry
+                .as_ref()
+                .map(|t| (self.bank.stats().builds, t.clock.now_ms()));
             let sparsity = self.bank.get(level_pos).sparsity; // lazy build
+            if let (Some((builds_before, begin_ms)), Some(t)) =
+                (build_timer, self.telemetry.as_mut())
+            {
+                if self.bank.stats().builds > builds_before {
+                    t.shard
+                        .record(t.ids.bank_build_wall_ms, t.clock.now_ms() - begin_ms);
+                }
+            }
             self.active_base_latency_ms = self.cost.base_latency_ms(sparsity, &level);
             if counted_switch {
                 self.switches += 1;
@@ -511,10 +565,42 @@ impl<'m, M: Model> DeviceSim<'m, M> {
                 if !self.battery.drain(switch_energy) {
                     self.battery.drain(self.battery.remaining_j());
                 }
+                if let Some(t) = &mut self.telemetry {
+                    t.shard.add(t.ids.switches, 1);
+                    t.shard.record(t.ids.switch_time_ms, cost.time_ms);
+                }
             }
             self.active_level = Some(level_pos);
         }
         self.last_switched = counted_switch;
+        if let Some(t) = &mut self.telemetry {
+            t.shard.set(t.ids.active_level, level_pos as f64);
+        }
+        if let Some((dwell_ms, time_to_death_ms, state_of_charge)) = audit_inputs {
+            // `switched` records the engine's *counted* switch (the first
+            // model activation is a load, not a switch), so the audited
+            // switch count reconciles exactly with the report's
+            let raw_target = match self.policy {
+                RuntimePolicy::Adaptive => {
+                    self.controller.raw_target(state_of_charge.clamp(0.0, 1.0))
+                }
+                RuntimePolicy::FixedLevel(pos) => pos,
+            };
+            let record = DecisionRecord {
+                t_ms: now_ms,
+                state_of_charge,
+                thermal_cap,
+                raw_target,
+                chosen_level: level_pos,
+                switched: counted_switch,
+                dwell_ms,
+                time_to_death_ms,
+                predicted_latency_ms: self.active_base_latency_ms,
+            };
+            if let Some(t) = &mut self.telemetry {
+                t.audit_decision(record);
+            }
+        }
         true
     }
 
@@ -526,14 +612,73 @@ impl<'m, M: Model> DeviceSim<'m, M> {
     /// Returns the scheduler's [`RejectReason`] when the request is turned
     /// away (bounded queue full, or the deadline is already unmeetable).
     pub(crate) fn try_admit(&mut self, request: Request) -> Result<(), RejectReason> {
-        self.scheduler.submit(request, self.active_base_latency_ms)
+        // the admission-time prediction is what the residuals compare the
+        // actual completion latency against; only the trace/audit (Full)
+        // consume it, so Counters skips the estimate entirely
+        let predicted_ms = match &self.telemetry {
+            Some(t) if t.full() => self.predicted_latency_ms(request.arrival_ms),
+            _ => 0.0,
+        };
+        let result = self.scheduler.submit(request, self.active_base_latency_ms);
+        if let Some(t) = &mut self.telemetry {
+            match result {
+                Ok(()) => {
+                    t.shard.add(t.ids.admitted, 1);
+                    t.shard
+                        .set(t.ids.queue_depth, self.scheduler.queue_len() as f64);
+                    t.note_prediction(request.id, predicted_ms);
+                    t.trace_event(TraceEvent {
+                        t_ms: request.arrival_ms,
+                        request_id: request.id,
+                        kind: TraceEventKind::Admit {
+                            deadline_ms: request.deadline_ms,
+                            queue_depth: self.scheduler.queue_len(),
+                            predicted_ms,
+                        },
+                    });
+                }
+                Err(reason) => {
+                    let (counter, label) = match reason {
+                        RejectReason::QueueFull => (t.ids.rejected_queue_full, "queue-full"),
+                        RejectReason::CertainMiss => (t.ids.rejected_certain_miss, "certain-miss"),
+                    };
+                    t.shard.add(counter, 1);
+                    t.trace_event(TraceEvent {
+                        t_ms: request.arrival_ms,
+                        request_id: request.id,
+                        kind: TraceEventKind::Reject { reason: label },
+                    });
+                }
+            }
+        }
+        result
     }
 
     /// Finishes a window on a dead device: queued and incoming requests are
     /// lost, and a dead window report is recorded.
     pub(crate) fn record_dead_window(&mut self, t_s: u32, arrivals: u64) {
         self.arrivals_total += arrivals;
-        self.dropped_dead += self.scheduler.drop_all() + arrivals;
+        let dropped_requests = self.scheduler.drain_queue();
+        self.dropped_dead += dropped_requests.len() as u64 + arrivals;
+        if let Some(t) = &mut self.telemetry {
+            t.shard.add(t.ids.windows_dead, 1);
+            // the count includes this window's arrivals, which never became
+            // requests (no ids) and therefore leave no individual trace
+            t.shard
+                .add(t.ids.dropped_dead, dropped_requests.len() as u64 + arrivals);
+            t.shard.set(t.ids.queue_depth, 0.0);
+            let now_ms = t_s as f64 * WINDOW_MS;
+            for request in dropped_requests {
+                t.settle_prediction(request.id, None);
+                t.trace_event(TraceEvent {
+                    t_ms: now_ms,
+                    request_id: request.id,
+                    kind: TraceEventKind::Drop {
+                        reason: "dead-battery",
+                    },
+                });
+            }
+        }
         self.windows.push(WindowReport {
             t_s,
             level_pos: None,
@@ -583,9 +728,39 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             }
             self.completed += 1;
             self.runs_per_level[completion.level_pos] += 1;
-            self.latencies.push(completion.latency_ms());
+            self.latency_hist.record(completion.latency_ms());
             if !completion.met_deadline {
                 window_missed += 1;
+            }
+            if let Some(t) = &mut self.telemetry {
+                t.shard.add(t.ids.completed, 1);
+                t.shard.record(t.ids.latency_ms, completion.latency_ms());
+                t.shard.record(
+                    t.ids.queue_wait_ms,
+                    completion.start_ms - completion.arrival_ms,
+                );
+                t.shard
+                    .record(t.ids.infer_ms, completion.finish_ms - completion.start_ms);
+                if !completion.met_deadline {
+                    t.shard.add(t.ids.deadline_missed, 1);
+                }
+                if t.full() {
+                    let predicted_ms =
+                        t.settle_prediction(completion.id, Some(completion.latency_ms()));
+                    t.trace_event(TraceEvent {
+                        t_ms: completion.finish_ms,
+                        request_id: completion.id,
+                        kind: TraceEventKind::Complete {
+                            arrival_ms: completion.arrival_ms,
+                            start_ms: completion.start_ms,
+                            finish_ms: completion.finish_ms,
+                            batch: completion.batch,
+                            level_pos: completion.level_pos,
+                            met_deadline: completion.met_deadline,
+                            predicted_ms,
+                        },
+                    });
+                }
             }
         }
         self.missed += window_missed;
@@ -597,13 +772,41 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         let mut i = 0;
         while i < completions.len() {
             let batch = completions[i].batch;
+            if let Some(t) = &mut self.telemetry {
+                t.shard.record(t.ids.batch_size, batch as f64);
+                // one Infer span per dispatched batch (stamped with the
+                // batch's first request) bounds trace volume
+                t.trace_event(TraceEvent {
+                    t_ms: completions[i].start_ms,
+                    request_id: completions[i].id,
+                    kind: TraceEventKind::Infer {
+                        start_ms: completions[i].start_ms,
+                        batch,
+                        level_pos,
+                    },
+                });
+            }
             batch_sizes.push(batch);
             i += batch;
         }
 
-        // 6. replay the dispatched batches as real sparse inference
+        // 6. replay the dispatched batches as real sparse inference; with
+        //    telemetry on, every worker times its batches and the timings
+        //    fold into the device shard after the join
         if self.real_inference && !batch_sizes.is_empty() {
-            let outcome = pool::run_batches(self.bank.get(level_pos), &batch_sizes, self.workers);
+            let outcome = match &mut self.telemetry {
+                Some(t) => {
+                    let (pool_telemetry, shard) = t.pool_view();
+                    pool::run_batches_instrumented(
+                        self.bank.get(level_pos),
+                        &batch_sizes,
+                        self.workers,
+                        &pool_telemetry,
+                        shard,
+                    )
+                }
+                None => pool::run_batches(self.bank.get(level_pos), &batch_sizes, self.workers),
+            };
             self.checksum += outcome.checksum;
             self.real_batches += outcome.batches;
         }
@@ -612,6 +815,26 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         self.background_energy_j += background_j;
         if !self.battery.drain(background_j) {
             self.battery.drain(self.battery.remaining_j());
+        }
+
+        if let Some(t) = &mut self.telemetry {
+            t.shard.add(t.ids.windows_served, 1);
+            t.shard
+                .set(t.ids.queue_depth, self.scheduler.queue_len() as f64);
+            // fold this window's bank activity (hits from pool lookups,
+            // builds/evictions from switches) into the counters
+            let stats = self.bank.stats();
+            t.shard
+                .add(t.ids.bank_hits, stats.hits - self.bank_stats_seen.hits);
+            t.shard.add(
+                t.ids.bank_builds,
+                stats.builds - self.bank_stats_seen.builds,
+            );
+            t.shard.add(
+                t.ids.bank_evictions,
+                stats.evictions - self.bank_stats_seen.evictions,
+            );
+            self.bank_stats_seen = stats;
         }
 
         self.windows.push(WindowReport {
@@ -626,9 +849,17 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         });
     }
 
-    /// Finalises the run: drops leftover queue entries, sorts latencies and
-    /// assembles the [`ServeReport`]. Returns the bank alongside so callers
-    /// that own it (the single-device engine) can keep it warm across runs.
+    /// A snapshot of everything telemetry has recorded so far (`None` when
+    /// telemetry is off). Used by tests to inspect gauges mid-run;
+    /// [`DeviceSim::into_report`] takes the final one.
+    #[cfg(test)]
+    pub(crate) fn telemetry_snapshot(&self) -> Option<rt3_telemetry::TelemetrySnapshot> {
+        self.telemetry.as_ref().map(|t| t.snapshot())
+    }
+
+    /// Finalises the run: drops leftover queue entries and assembles the
+    /// [`ServeReport`]. Returns the bank alongside so callers that own it
+    /// (the single-device engine) can keep it warm across runs.
     pub(crate) fn into_report(
         mut self,
         scenario: String,
@@ -636,9 +867,26 @@ impl<'m, M: Model> DeviceSim<'m, M> {
     ) -> (ServeReport, ModelBank<'m, M>) {
         // requests still queued when the trace ends count as misses, but are
         // reported separately from admission rejections
-        let leftover = self.scheduler.drop_all();
-        self.latencies
-            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let leftover_requests = self.scheduler.drain_queue();
+        let leftover = leftover_requests.len() as u64;
+        let telemetry = self.telemetry.as_mut().map(|t| {
+            t.shard.add(t.ids.dropped_trace_end, leftover);
+            let end_ms = self
+                .windows
+                .last()
+                .map_or(0.0, |w| (w.t_s + 1) as f64 * WINDOW_MS);
+            for request in &leftover_requests {
+                t.settle_prediction(request.id, None);
+                t.trace_event(TraceEvent {
+                    t_ms: end_ms,
+                    request_id: request.id,
+                    kind: TraceEventKind::Drop {
+                        reason: "trace-end",
+                    },
+                });
+            }
+            t.snapshot()
+        });
         let rejected =
             self.scheduler.rejected_queue_full() + self.scheduler.rejected_certain_miss();
         let report = ServeReport {
@@ -652,7 +900,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             rejected,
             dropped_dead_battery: self.dropped_dead,
             dropped_at_trace_end: leftover,
-            latencies_ms: self.latencies,
+            latency_hist: self.latency_hist,
             switches: self.switches,
             switch_time_ms: self.switch_time_ms,
             inference_energy_j: self.inference_energy_j,
@@ -662,7 +910,101 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             died_at_s: self.died_at_s,
             inference_checksum: self.checksum,
             real_batches: self.real_batches,
+            telemetry,
         };
         (report, self.bank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt3_core::{
+        build_search_space, run_level1, run_level2_search, SurrogateEvaluator, TaskProfile,
+    };
+    use rt3_transformer::{TransformerConfig, TransformerLm};
+
+    /// Satellite check for the drain-rate telemetry: after every
+    /// `begin_window` the exported `time_to_death_ms` gauge must equal what
+    /// the [`DrainRateTracker`] returns for the current battery state —
+    /// the router and the dashboards must agree on when a device dies.
+    #[test]
+    fn time_to_death_gauge_tracks_the_drain_rate_tracker() {
+        let model = TransformerLm::new(TransformerConfig::tiny(32), 13);
+        let rt3 = Rt3Config::tiny_test();
+        let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+        let backbone = run_level1(&model, &rt3, &mut evaluator);
+        let space = build_search_space(&model, &backbone, &rt3);
+        let outcome = run_level2_search(&model, &backbone, &space, &rt3, &mut evaluator);
+        let best = outcome.best.as_ref().expect("feasible solution");
+
+        let levels = rt3.governor.levels().to_vec();
+        let bank = ModelBank::new(
+            &model,
+            backbone.masks.clone(),
+            &space,
+            &best.actions,
+            MemoryModel::odroid_xu3(),
+            levels.len(),
+        );
+        let config = ServeConfig {
+            battery_capacity_j: 30.0,
+            real_inference: false,
+            ..ServeConfig::default()
+        };
+        let cost: Arc<dyn CostModel> = Arc::new(Analytic::new(
+            LatencyModel {
+                predictor: rt3.predictor,
+                workload_config: rt3.workload_config.clone(),
+                seq_len: rt3.seq_len,
+            },
+            config.cost,
+        ));
+        let mut device = DeviceSim::new(
+            bank,
+            RuntimeController::new(rt3.governor.clone(), config.hysteresis),
+            DeadlineScheduler::new(config.scheduler),
+            Battery::new(config.battery_capacity_j),
+            RuntimePolicy::Adaptive,
+            cost,
+            PowerModel::cortex_a7(),
+            levels,
+            config.deadline_budget_ms,
+            false,
+            10,
+            DeviceTelemetry::new(TelemetryConfig::counters(), Arc::new(WallClock::new())),
+        );
+
+        for t_s in 0..10u32 {
+            let now_ms = t_s as f64 * WINDOW_MS;
+            let serving = device.begin_window(t_s, now_ms, None, 0.0, None);
+            let snapshot = device
+                .telemetry_snapshot()
+                .expect("telemetry is on at Counters");
+            let gauge = snapshot
+                .metrics
+                .gauge("time_to_death_ms")
+                .expect("gauge is registered and set every window");
+            assert_eq!(
+                gauge,
+                device.time_to_death_ms(),
+                "window {t_s}: exported gauge must match the tracker"
+            );
+            if t_s == 0 {
+                // no drain observed yet: the tracker reports an infinite
+                // horizon and the gauge must carry it through unchanged
+                assert!(gauge.is_infinite());
+            } else {
+                assert!(
+                    gauge.is_finite() && gauge > 0.0,
+                    "window {t_s}: background drain must bound the horizon"
+                );
+            }
+            if serving {
+                // background load only: 0.5 W drains the battery so the
+                // EWMA has a real trajectory to track
+                device.end_window(t_s, now_ms + WINDOW_MS, 0, 0, 0.5 * WINDOW_S);
+            }
+        }
     }
 }

@@ -39,12 +39,14 @@ use crate::engine::{DeviceSim, RuntimePolicy, WINDOW_MS, WINDOW_S};
 use crate::report::FleetReport;
 use crate::scenario::FleetScenario;
 use crate::scheduler::{DeadlineScheduler, Request, SchedulerConfig};
+use crate::telemetry::{DeviceTelemetry, FleetTelemetry};
 use crate::ModelBank;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rt3_core::{Rt3Config, SearchOutcome};
 use rt3_hardware::{Battery, MemoryModel, PowerModel};
 use rt3_pruning::PatternSpace;
+use rt3_telemetry::{Clock, TelemetryConfig, WallClock};
 use rt3_transformer::Model;
 use std::sync::Arc;
 
@@ -340,6 +342,9 @@ pub struct FleetConfig {
     pub real_inference: bool,
     /// Traffic seed (the arrival process is fleet-wide).
     pub seed: u64,
+    /// What the run records, on every device and on the router
+    /// ([`rt3_telemetry::TelemetryLevel::Off`] by default).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for FleetConfig {
@@ -352,6 +357,7 @@ impl Default for FleetConfig {
             cost: CostConfig::default(),
             real_inference: true,
             seed: 0x7233,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -370,6 +376,7 @@ impl FleetConfig {
         self.router.validate()?;
         self.scheduler.validate()?;
         self.hysteresis.validate()?;
+        self.telemetry.validate()?;
         Ok(())
     }
 }
@@ -426,6 +433,8 @@ impl<'m, M: Model> Fleet<'m, M> {
         ));
         let levels = rt3.governor.levels().to_vec();
         let duration_s = scenario.duration_s();
+        // one wall clock shared by every device's kernel/build timings
+        let clock: Arc<dyn Clock> = Arc::new(WallClock::new());
         let devices = scenario
             .devices
             .iter()
@@ -456,6 +465,7 @@ impl<'m, M: Model> Fleet<'m, M> {
                     config.deadline_budget_ms,
                     config.real_inference,
                     duration_s,
+                    DeviceTelemetry::new(config.telemetry, Arc::clone(&clock)),
                 )
             })
             .collect();
@@ -497,6 +507,8 @@ impl<'m, M: Model> Fleet<'m, M> {
         let mut arrivals_total = 0u64;
         let mut unroutable = 0u64;
         let n = self.devices.len();
+        let device_names: Vec<String> = scenario.devices.iter().map(|p| p.name.clone()).collect();
+        let mut fleet_telemetry = FleetTelemetry::new(self.config.telemetry, &device_names);
 
         for t_s in 0..scenario.duration_s() {
             let now_ms = t_s as f64 * WINDOW_MS;
@@ -541,7 +553,27 @@ impl<'m, M: Model> Fleet<'m, M> {
                             placed = Some(i);
                             break;
                         }
-                        Err(_) => rejected[i] += 1,
+                        Err(_) => {
+                            rejected[i] += 1;
+                            if let Some(ft) = &mut fleet_telemetry {
+                                let id = ft.failovers[i];
+                                ft.add(id, 1);
+                            }
+                        }
+                    }
+                }
+                if let Some(ft) = &mut fleet_telemetry {
+                    let arrivals_id = ft.arrivals;
+                    ft.add(arrivals_id, 1);
+                    match placed {
+                        Some(i) => {
+                            let id = ft.routed[i];
+                            ft.add(id, 1);
+                        }
+                        None => {
+                            let id = ft.unroutable;
+                            ft.add(id, 1);
+                        }
                     }
                 }
                 if placed.is_none() {
@@ -580,6 +612,7 @@ impl<'m, M: Model> Fleet<'m, M> {
             arrivals: arrivals_total,
             unroutable,
             devices,
+            telemetry: fleet_telemetry.map(|ft| ft.snapshot()),
         }
     }
 

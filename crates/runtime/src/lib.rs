@@ -30,6 +30,12 @@
 //!   (each with its own battery, controller, bank and scheduler) behind a
 //!   battery-headroom or predictive (time-to-death) router with failover,
 //!   played from a [`FleetScenario`] into a [`FleetReport`].
+//! * [`TelemetryConfig`] — opt-in observability from `rt3-telemetry`:
+//!   streaming counters/gauges/histograms per device and router, a
+//!   request-lifecycle trace (admit → queue → batch → infer → complete) and
+//!   a controller decision audit with prediction-vs-actual residuals, all
+//!   exportable as JSONL via [`TelemetrySnapshot`]. `Off` (the default)
+//!   keeps the engine byte-identical to the uninstrumented build.
 //!
 //! # Examples
 //!
@@ -74,6 +80,7 @@ pub mod pool;
 mod report;
 mod scenario;
 mod scheduler;
+mod telemetry;
 
 pub use bank::{BankStats, BankedModel, InferScratch, ModelBank};
 pub use controller::{HysteresisConfig, LevelDecision, RuntimeController, Telemetry};
@@ -86,6 +93,7 @@ pub use fleet::{
     DeviceSnapshot, Fleet, FleetConfig, Router, RouterConfig, RoutingPolicy, RoutingWeights,
 };
 pub use report::{FleetReport, ServeReport, WindowReport};
+pub use rt3_telemetry::{TelemetryConfig, TelemetryLevel, TelemetrySnapshot};
 pub use scenario::{DeviceProfile, FleetScenario, Scenario};
 pub use scheduler::{Completion, DeadlineScheduler, RejectReason, Request, SchedulerConfig};
 

@@ -9,6 +9,7 @@
 //! same entry point to measure wall-clock sparse-serving throughput.
 
 use crate::bank::{BankedModel, InferScratch};
+use rt3_telemetry::{Clock, CounterId, HistogramId, MetricShard};
 use std::thread;
 
 /// Outcome of running a set of batches through the pool.
@@ -73,6 +74,78 @@ pub fn run_batches(model: &BankedModel, batches: &[usize], workers: usize) -> Po
     }
 }
 
+/// Telemetry hooks for an instrumented pool run: the clock that times each
+/// micro-batch and the metric ids the timings are recorded under.
+pub struct PoolTelemetry<'a> {
+    /// Clock used to time each batch (a wall clock in production, a
+    /// [`rt3_telemetry::ManualClock`] in deterministic tests).
+    pub clock: &'a dyn Clock,
+    /// Counter incremented once per executed batch.
+    pub batches: CounterId,
+    /// Histogram of per-batch kernel wall time in milliseconds.
+    pub batch_wall_ms: HistogramId,
+}
+
+/// [`run_batches`] with per-batch timing: each OS thread times its batches
+/// through `telemetry.clock` into a plain local `Vec<f64>` (no locks or
+/// contention on the hot path), and the timings fold into `shard` in worker
+/// order after the join. Recording into the caller's long-lived shard —
+/// rather than minting per-worker shards and merging histogram bucket
+/// arrays every call — is what keeps the per-window overhead of `Counters`
+/// inside the bench gate. The checksum path is untouched — the outcome is
+/// bit-identical to [`run_batches`].
+pub fn run_batches_instrumented(
+    model: &BankedModel,
+    batches: &[usize],
+    workers: usize,
+    telemetry: &PoolTelemetry<'_>,
+    shard: &mut MetricShard,
+) -> PoolOutcome {
+    if batches.is_empty() {
+        return PoolOutcome {
+            batches: 0,
+            checksum: 0.0,
+        };
+    }
+    let workers = workers.clamp(1, batches.len());
+    let chunk_len = batches.len().div_ceil(workers);
+    let checksum = thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut scratch = InferScratch::new();
+                    let mut timings_ms = Vec::with_capacity(chunk.len());
+                    let checksums = chunk
+                        .iter()
+                        .map(|&b| {
+                            let begin_ms = telemetry.clock.now_ms();
+                            let checksum = model.infer_with(b, &mut scratch);
+                            timings_ms.push(telemetry.clock.now_ms() - begin_ms);
+                            checksum
+                        })
+                        .collect::<Vec<f64>>();
+                    (checksums, timings_ms)
+                })
+            })
+            .collect();
+        let mut checksum = 0.0;
+        for handle in handles {
+            let (checksums, timings_ms) = handle.join().expect("inference worker panicked");
+            checksum += checksums.into_iter().sum::<f64>();
+            shard.add(telemetry.batches, timings_ms.len() as u64);
+            for wall_ms in timings_ms {
+                shard.record(telemetry.batch_wall_ms, wall_ms);
+            }
+        }
+        checksum
+    });
+    PoolOutcome {
+        batches: batches.len() as u64,
+        checksum,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,6 +193,54 @@ mod tests {
         let outcome = run_batches(&model, &[], 4);
         assert_eq!(outcome.batches, 0);
         assert_eq!(outcome.checksum, 0.0);
+    }
+
+    #[test]
+    fn instrumented_run_matches_and_times_every_batch() {
+        use rt3_telemetry::{ManualClock, MetricRegistry};
+        let model = banked();
+        let batches = vec![2, 3, 1, 4];
+        let mut registry = MetricRegistry::new();
+        let counter = registry.counter("pool_batches");
+        let hist = registry.histogram("pool_batch_wall_ms");
+        // each timing takes two readings of the stepping clock, so every
+        // batch measures exactly one step — deterministic with one worker
+        let clock = ManualClock::new(1.0);
+        let telemetry = PoolTelemetry {
+            clock: &clock,
+            batches: counter,
+            batch_wall_ms: hist,
+        };
+        let mut shard = registry.shard();
+        let outcome = run_batches_instrumented(&model, &batches, 1, &telemetry, &mut shard);
+        assert_eq!(outcome, run_batches(&model, &batches, 1));
+        let snap = registry.snapshot(&shard);
+        assert_eq!(snap.counter("pool_batches"), Some(4));
+        let timings = snap.histogram("pool_batch_wall_ms").unwrap();
+        assert_eq!(timings.count(), 4);
+        assert_eq!(timings.min(), 1.0);
+        assert_eq!(timings.max(), 1.0);
+    }
+
+    #[test]
+    fn instrumented_timings_fold_in_across_workers() {
+        use rt3_telemetry::{MetricRegistry, WallClock};
+        let model = banked();
+        let batches = vec![1, 2, 3, 4, 2, 1, 3];
+        let mut registry = MetricRegistry::new();
+        let counter = registry.counter("pool_batches");
+        let hist = registry.histogram("pool_batch_wall_ms");
+        let clock = WallClock::new();
+        let telemetry = PoolTelemetry {
+            clock: &clock,
+            batches: counter,
+            batch_wall_ms: hist,
+        };
+        let mut shard = registry.shard();
+        let outcome = run_batches_instrumented(&model, &batches, 4, &telemetry, &mut shard);
+        assert_eq!(outcome, run_batches(&model, &batches, 4));
+        assert_eq!(shard.counter(counter), 7, "one count per batch, merged");
+        assert_eq!(shard.histogram(hist).count(), 7);
     }
 
     #[test]

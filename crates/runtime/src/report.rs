@@ -1,6 +1,16 @@
 //! Serve-run reporting: per-window traces plus aggregate latency, deadline
 //! and energy statistics, and fleet-level aggregation ([`FleetReport`])
 //! across several simulated devices.
+//!
+//! Latency percentiles come from one shared implementation — the
+//! log-bucketed [`StreamingHistogram`] — instead of per-report sorted
+//! sample vectors: memory stays bounded regardless of trace length, and a
+//! fleet percentile is a bucket-wise merge of the device histograms rather
+//! than a flatten-and-sort over every raw sample. Reported quantiles are
+//! exact up to one bucket width (≈ 3% relative, see
+//! [`StreamingHistogram::relative_error`]).
+
+use rt3_telemetry::{StreamingHistogram, TelemetrySnapshot};
 
 /// Per-window slice of a serve run (windows are one simulated second).
 #[derive(Debug, Clone, PartialEq)]
@@ -47,8 +57,8 @@ pub struct ServeReport {
     pub dropped_dead_battery: u64,
     /// Requests still queued (admitted but unserved) when the trace ended.
     pub dropped_at_trace_end: u64,
-    /// Sorted end-to-end latencies of all completions, milliseconds.
-    pub latencies_ms: Vec<f64>,
+    /// End-to-end latency distribution of all completions, milliseconds.
+    pub latency_hist: StreamingHistogram,
     /// Pattern-set/V-F switches performed.
     pub switches: u64,
     /// Total wall time spent switching, milliseconds.
@@ -68,6 +78,8 @@ pub struct ServeReport {
     pub inference_checksum: f64,
     /// Real sparse-inference batches executed by the worker pool.
     pub real_batches: u64,
+    /// Telemetry recorded during the run (`None` when telemetry is off).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl ServeReport {
@@ -84,10 +96,11 @@ impl ServeReport {
             / self.arrivals as f64
     }
 
-    /// Latency percentile over completions, `q` in `[0, 1]`. Returns 0 with
-    /// no completions.
+    /// Latency percentile over completions, `q` in `[0, 1]`: the streaming
+    /// histogram's nearest-rank quantile, within one bucket width of the
+    /// exact sample value. Returns 0 with no completions.
     pub fn latency_percentile_ms(&self, q: f64) -> f64 {
-        nearest_rank(&self.latencies_ms, q)
+        self.latency_hist.quantile(q)
     }
 
     /// Median latency in milliseconds.
@@ -142,18 +155,6 @@ impl ServeReport {
     }
 }
 
-/// Nearest-rank percentile over ascending `sorted` values: the smallest
-/// value with at least `q` of the mass at or below it. Returns 0 when
-/// empty.
-fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let q = q.clamp(0.0, 1.0);
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
-}
-
 /// Aggregate outcome of one fleet run: per-device [`ServeReport`]s plus the
 /// router's view of the trace.
 ///
@@ -177,6 +178,10 @@ pub struct FleetReport {
     /// its `rejected`), and `ServeReport::scenario` carries the device name
     /// from the fleet scenario's profile.
     pub devices: Vec<ServeReport>,
+    /// Router-level telemetry — per-device route and failover counters
+    /// (`None` when telemetry is off). Device-level telemetry rides inside
+    /// each [`ServeReport`].
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl FleetReport {
@@ -239,15 +244,16 @@ impl FleetReport {
         *routed.iter().max().expect("non-empty") as f64 / mean
     }
 
-    /// Latency percentile over all fleet completions, `q` in `[0, 1]`.
+    /// Latency percentile over all fleet completions, `q` in `[0, 1]`:
+    /// the device histograms merge bucket-wise (merging is associative, so
+    /// the result is independent of device order) and the quantile is read
+    /// off the aggregate — no raw samples needed.
     pub fn latency_percentile_ms(&self, q: f64) -> f64 {
-        let mut all: Vec<f64> = self
-            .devices
-            .iter()
-            .flat_map(|d| d.latencies_ms.iter().copied())
-            .collect();
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        nearest_rank(&all, q)
+        let mut all = StreamingHistogram::new();
+        for device in &self.devices {
+            all.merge(&device.latency_hist);
+        }
+        all.quantile(q)
     }
 
     /// One-line fleet summary.
@@ -306,6 +312,10 @@ mod tests {
     use super::*;
 
     fn report(latencies: Vec<f64>) -> ServeReport {
+        let mut latency_hist = StreamingHistogram::new();
+        for &l in &latencies {
+            latency_hist.record(l);
+        }
         ServeReport {
             scenario: "test".into(),
             policy: "adaptive".into(),
@@ -317,7 +327,7 @@ mod tests {
             rejected: 1,
             dropped_dead_battery: 0,
             dropped_at_trace_end: 0,
-            latencies_ms: latencies,
+            latency_hist,
             switches: 2,
             switch_time_ms: 10.0,
             inference_energy_j: 5.0,
@@ -327,7 +337,19 @@ mod tests {
             died_at_s: None,
             inference_checksum: 0.0,
             real_batches: 0,
+            telemetry: None,
         }
+    }
+
+    /// Asserts a reported percentile lands in the bucket of the exact
+    /// nearest-rank sample — the documented ±1-bucket pin of the shared
+    /// histogram percentiles.
+    fn assert_within_bucket(reported: f64, exact: f64) {
+        let (lo, hi) = StreamingHistogram::bucket_bounds(exact);
+        assert!(
+            (lo.min(exact)..=hi).contains(&reported),
+            "{reported} outside the bucket [{lo}, {hi}] of exact {exact}"
+        );
     }
 
     #[test]
@@ -339,11 +361,12 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_pick_from_sorted_latencies() {
+    fn percentiles_track_nearest_rank_within_one_bucket() {
         let r = report((1..=100).map(|x| x as f64).collect());
-        assert_eq!(r.p50_ms(), 50.0);
-        assert_eq!(r.p95_ms(), 95.0);
-        assert_eq!(r.p99_ms(), 99.0);
+        assert_within_bucket(r.p50_ms(), 50.0);
+        assert_within_bucket(r.p95_ms(), 95.0);
+        assert_within_bucket(r.p99_ms(), 99.0);
+        assert_eq!(r.latency_percentile_ms(1.0), 100.0, "max is exact");
         assert_eq!(report(Vec::new()).p95_ms(), 0.0);
     }
 
@@ -362,6 +385,7 @@ mod tests {
             arrivals: 42,
             unroutable: 2,
             devices: vec![d0, d1],
+            telemetry: None,
         };
         assert_eq!(fleet.completed(), 16);
         assert_eq!(fleet.missed_deadline(), 2);
@@ -374,7 +398,9 @@ mod tests {
         assert_eq!(fleet.deaths(), 1);
         // routed 10 vs 30: max 30 over mean 20
         assert!((fleet.load_imbalance() - 1.5).abs() < 1e-12);
-        assert_eq!(fleet.latency_percentile_ms(0.5), 40.0);
+        // the merged histogram's median sits in 40's bucket, the top
+        // percentile is clamped to the observed maximum exactly
+        assert_within_bucket(fleet.latency_percentile_ms(0.5), 40.0);
         assert_eq!(fleet.latency_percentile_ms(1.0), 80.0);
         assert!(fleet.summary().contains("battery-aware"));
         assert_eq!(fleet.device_summaries().len(), 2);
@@ -388,6 +414,7 @@ mod tests {
             arrivals: 0,
             unroutable: 0,
             devices: Vec::new(),
+            telemetry: None,
         };
         assert_eq!(fleet.miss_rate(), 0.0);
         assert_eq!(fleet.load_imbalance(), 0.0);

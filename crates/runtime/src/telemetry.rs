@@ -1,0 +1,279 @@
+//! Glue between the serving engine and `rt3-telemetry`: the per-device
+//! metric schema, the trace/audit recorders and the prediction bookkeeping
+//! behind the cost-model residuals.
+//!
+//! A [`DeviceTelemetry`] exists only when the configured
+//! [`TelemetryLevel`] is above `Off` — the engine holds an
+//! `Option<DeviceTelemetry>`, so an uninstrumented run touches no telemetry
+//! code at all. At `Counters` the device keeps one [`MetricShard`] of
+//! counters/gauges/histograms (pool workers time their batches locally and
+//! the timings fold into that shard at window boundaries); `Full` adds the
+//! request trace, the controller decision audit and per-request prediction
+//! tracking for the residuals.
+
+use rt3_telemetry::{
+    Clock, CounterId, DecisionAudit, DecisionRecord, GaugeId, HistogramId, MetricRegistry,
+    MetricShard, TelemetryConfig, TelemetryLevel, TelemetrySnapshot, TraceEvent, TraceRecorder,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The fixed metric schema of one serving device. Names are part of the
+/// JSONL contract documented in DESIGN.md §9.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeviceMetricIds {
+    // scheduler / admission
+    pub admitted: CounterId,
+    pub rejected_queue_full: CounterId,
+    pub rejected_certain_miss: CounterId,
+    pub completed: CounterId,
+    pub deadline_missed: CounterId,
+    pub dropped_dead: CounterId,
+    pub dropped_trace_end: CounterId,
+    pub queue_depth: GaugeId,
+    // controller / battery
+    pub switches: CounterId,
+    pub windows_served: CounterId,
+    pub windows_dead: CounterId,
+    pub state_of_charge: GaugeId,
+    pub active_level: GaugeId,
+    pub drain_rate_w: GaugeId,
+    pub time_to_death_ms: GaugeId,
+    pub switch_time_ms: HistogramId,
+    // latency breakdown
+    pub latency_ms: HistogramId,
+    pub queue_wait_ms: HistogramId,
+    pub infer_ms: HistogramId,
+    pub batch_size: HistogramId,
+    // model bank
+    pub bank_hits: CounterId,
+    pub bank_builds: CounterId,
+    pub bank_evictions: CounterId,
+    pub bank_build_wall_ms: HistogramId,
+    // worker pool (timed locally per worker, folded in per window)
+    pub pool_batches: CounterId,
+    pub pool_batch_wall_ms: HistogramId,
+}
+
+impl DeviceMetricIds {
+    fn register(registry: &mut MetricRegistry) -> Self {
+        Self {
+            admitted: registry.counter("requests_admitted"),
+            rejected_queue_full: registry.counter("requests_rejected_queue_full"),
+            rejected_certain_miss: registry.counter("requests_rejected_certain_miss"),
+            completed: registry.counter("requests_completed"),
+            deadline_missed: registry.counter("deadline_missed"),
+            dropped_dead: registry.counter("requests_dropped_dead"),
+            dropped_trace_end: registry.counter("requests_dropped_trace_end"),
+            queue_depth: registry.gauge("queue_depth"),
+            switches: registry.counter("switches"),
+            windows_served: registry.counter("windows_served"),
+            windows_dead: registry.counter("windows_dead"),
+            state_of_charge: registry.gauge("state_of_charge"),
+            active_level: registry.gauge("active_level"),
+            drain_rate_w: registry.gauge("drain_rate_w"),
+            time_to_death_ms: registry.gauge("time_to_death_ms"),
+            switch_time_ms: registry.histogram("switch_time_ms"),
+            latency_ms: registry.histogram("latency_ms"),
+            queue_wait_ms: registry.histogram("queue_wait_ms"),
+            infer_ms: registry.histogram("infer_ms"),
+            batch_size: registry.histogram("batch_size"),
+            bank_hits: registry.counter("bank_hits"),
+            bank_builds: registry.counter("bank_builds"),
+            bank_evictions: registry.counter("bank_evictions"),
+            bank_build_wall_ms: registry.histogram("bank_build_wall_ms"),
+            pool_batches: registry.counter("pool_batches"),
+            pool_batch_wall_ms: registry.histogram("pool_batch_wall_ms"),
+        }
+    }
+}
+
+/// Live telemetry state of one serving device.
+pub(crate) struct DeviceTelemetry {
+    level: TelemetryLevel,
+    registry: MetricRegistry,
+    pub(crate) shard: MetricShard,
+    pub(crate) ids: DeviceMetricIds,
+    pub(crate) clock: Arc<dyn Clock>,
+    trace: Option<TraceRecorder>,
+    audit: Option<DecisionAudit>,
+    /// Cost-model latency prediction made at admission, keyed by request id;
+    /// entries are removed on completion or drop, so the map is bounded by
+    /// the scheduler's queue dynamics. `Full` level only.
+    pending_predictions: HashMap<u64, f64>,
+}
+
+impl DeviceTelemetry {
+    /// Builds the device's recording state, or `None` when `config.level`
+    /// is [`TelemetryLevel::Off`] — the caller then skips telemetry
+    /// entirely, keeping the uninstrumented hot path byte-identical to the
+    /// seed behaviour.
+    pub(crate) fn new(config: TelemetryConfig, clock: Arc<dyn Clock>) -> Option<Self> {
+        if !config.level.counters_enabled() {
+            return None;
+        }
+        config.validate().expect("invalid telemetry configuration");
+        let mut registry = MetricRegistry::new();
+        let ids = DeviceMetricIds::register(&mut registry);
+        let shard = registry.shard();
+        let (trace, audit) = if config.level.full_enabled() {
+            (
+                Some(TraceRecorder::new(config.trace_capacity)),
+                Some(DecisionAudit::new(config.audit_capacity)),
+            )
+        } else {
+            (None, None)
+        };
+        Some(Self {
+            level: config.level,
+            registry,
+            shard,
+            ids,
+            clock,
+            trace,
+            audit,
+            pending_predictions: HashMap::new(),
+        })
+    }
+
+    /// Whether the full level (trace + audit) is active.
+    pub(crate) fn full(&self) -> bool {
+        self.level.full_enabled()
+    }
+
+    /// Records a trace event (no-op below `Full`).
+    pub(crate) fn trace_event(&mut self, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(event);
+        }
+    }
+
+    /// Records a controller decision (no-op below `Full`).
+    pub(crate) fn audit_decision(&mut self, record: DecisionRecord) {
+        if let Some(audit) = &mut self.audit {
+            audit.record(record);
+        }
+    }
+
+    /// Remembers the admission-time latency prediction of a request
+    /// (no-op below `Full`).
+    pub(crate) fn note_prediction(&mut self, request_id: u64, predicted_ms: f64) {
+        if self.full() {
+            self.pending_predictions.insert(request_id, predicted_ms);
+        }
+    }
+
+    /// Pops the remembered prediction for a finished request and, when
+    /// `actual_ms` is given, folds the prediction-vs-actual residual into
+    /// the audit. Returns the prediction (NaN when none was tracked) for
+    /// the `Complete` trace event.
+    pub(crate) fn settle_prediction(&mut self, request_id: u64, actual_ms: Option<f64>) -> f64 {
+        let predicted = self
+            .pending_predictions
+            .remove(&request_id)
+            .unwrap_or(f64::NAN);
+        if let (Some(actual), Some(audit)) = (actual_ms, self.audit.as_mut()) {
+            audit.record_residual(predicted, actual);
+        }
+        predicted
+    }
+
+    /// The hooks an instrumented [`crate::pool`] run needs — the clock and
+    /// the pool metric ids — plus the device shard the timings fold into
+    /// after the workers join (split-borrowed so both can be held at once).
+    pub(crate) fn pool_view(&mut self) -> (crate::pool::PoolTelemetry<'_>, &mut MetricShard) {
+        (
+            crate::pool::PoolTelemetry {
+                clock: self.clock.as_ref(),
+                batches: self.ids.pool_batches,
+                batch_wall_ms: self.ids.pool_batch_wall_ms,
+            },
+            &mut self.shard,
+        )
+    }
+
+    /// Detaches everything recorded so far into a snapshot for the report.
+    pub(crate) fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            level: self.level,
+            metrics: self.registry.snapshot(&self.shard),
+            trace: self.trace.as_ref().map(|t| t.events()).unwrap_or_default(),
+            trace_overwritten: self.trace.as_ref().map(|t| t.overwritten()).unwrap_or(0),
+            decisions: self
+                .audit
+                .as_ref()
+                .map(|a| a.decisions())
+                .unwrap_or_default(),
+            decisions_overwritten: self.audit.as_ref().map(|a| a.overwritten()).unwrap_or(0),
+            residuals: self
+                .audit
+                .as_ref()
+                .map(|a| a.residuals())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// The fleet router's metric schema: per-device route/failover counters
+/// plus fleet-wide admission totals. Also part of the DESIGN.md §9 JSONL
+/// contract.
+pub(crate) struct FleetTelemetry {
+    registry: MetricRegistry,
+    shard: MetricShard,
+    pub(crate) arrivals: CounterId,
+    pub(crate) unroutable: CounterId,
+    /// One counter per device: requests the router placed there.
+    pub(crate) routed: Vec<CounterId>,
+    /// One counter per device: admissions that bounced off it (failovers).
+    pub(crate) failovers: Vec<CounterId>,
+    level: TelemetryLevel,
+}
+
+impl FleetTelemetry {
+    /// Builds the router's recording state over `device_names`, or `None`
+    /// when telemetry is off.
+    pub(crate) fn new(config: TelemetryConfig, device_names: &[String]) -> Option<Self> {
+        if !config.level.counters_enabled() {
+            return None;
+        }
+        let mut registry = MetricRegistry::new();
+        let arrivals = registry.counter("router_arrivals");
+        let unroutable = registry.counter("router_unroutable");
+        let routed = device_names
+            .iter()
+            .map(|name| registry.counter(&format!("routed_to:{name}")))
+            .collect();
+        let failovers = device_names
+            .iter()
+            .map(|name| registry.counter(&format!("failover_from:{name}")))
+            .collect();
+        let shard = registry.shard();
+        Some(Self {
+            registry,
+            shard,
+            arrivals,
+            unroutable,
+            routed,
+            failovers,
+            level: config.level,
+        })
+    }
+
+    /// Adds to one of the registered counters.
+    pub(crate) fn add(&mut self, id: CounterId, delta: u64) {
+        self.shard.add(id, delta);
+    }
+
+    /// Detaches the router metrics into a snapshot for the fleet report.
+    pub(crate) fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            level: self.level,
+            metrics: self.registry.snapshot(&self.shard),
+            trace: Vec::new(),
+            trace_overwritten: 0,
+            decisions: Vec::new(),
+            decisions_overwritten: 0,
+            residuals: Default::default(),
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Acceptance test for the `Full` telemetry level: a fleet run over the
+//! heterogeneous-cliff trace must export JSONL from which an external
+//! consumer — here, this test parsing the text lines — can reconstruct
+//! every controller level switch and every deadline miss, the latter with
+//! its queue/infer latency breakdown. This pins the JSONL schema of
+//! DESIGN.md §9: if a field is renamed or dropped, the reconstruction
+//! fails.
+
+use rt3_core::{
+    build_search_space, run_level1, run_level2_search, Rt3Config, SurrogateEvaluator, TaskProfile,
+};
+use rt3_runtime::{
+    Fleet, FleetConfig, FleetReport, FleetScenario, SchedulerConfig, TelemetryConfig,
+    TelemetryLevel,
+};
+use rt3_transformer::{TransformerConfig, TransformerLm};
+
+/// Plays the heterogeneous-cliff trace at `Full` telemetry with a single
+/// slow worker per device and a deadline budget just above the base
+/// service time: greedy micro-batching then pushes some admitted requests
+/// past their deadline, so the trace contains genuine misses (admission
+/// control rejects *certain* misses, so misses only arise when the actual
+/// batch runs longer than the admit-time single-request estimate).
+fn run_cliff_fleet() -> (FleetReport, FleetScenario) {
+    let model = TransformerLm::new(TransformerConfig::tiny(32), 13);
+    let config = Rt3Config::tiny_test();
+    let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
+    let backbone = run_level1(&model, &config, &mut evaluator);
+    let space = build_search_space(&model, &backbone, &config);
+    let outcome = run_level2_search(&model, &backbone, &space, &config, &mut evaluator);
+
+    let scenario = FleetScenario::heterogeneous_cliff();
+    let fleet_cfg = FleetConfig {
+        real_inference: false,
+        deadline_budget_ms: 0.4,
+        scheduler: SchedulerConfig {
+            workers: 1,
+            max_batch: 16,
+            ..SchedulerConfig::default()
+        },
+        telemetry: TelemetryConfig::full(),
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::new(
+        &model,
+        backbone.masks,
+        &space,
+        &outcome,
+        &config,
+        &scenario,
+        fleet_cfg,
+    );
+    (fleet.run(), scenario)
+}
+
+/// Pulls `"key":value` out of a JSONL line (numbers/bools only).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .expect("JSON value is followed by , or }");
+    Some(&rest[..end])
+}
+
+#[test]
+fn full_telemetry_jsonl_reconstructs_switches_and_misses() {
+    let (report, scenario) = run_cliff_fleet();
+
+    // a run worth auditing: traffic was served, at least one device stepped
+    // its level down as the cliff drained it, and the batching pressure
+    // produced real deadline misses — without them the breakdown checks
+    // below would be vacuous
+    assert!(report.completed() > 0);
+    assert!(report.total_switches() > 0);
+    assert!(
+        report.missed_deadline() > 0,
+        "the acceptance scenario must exercise the miss path"
+    );
+
+    let mut switch_lines = 0u64;
+    let mut miss_lines = 0u64;
+    let mut complete_lines = 0u64;
+    for (device, profile) in report.devices.iter().zip(&scenario.devices) {
+        let snapshot = device
+            .telemetry
+            .as_ref()
+            .expect("Full level must attach a snapshot to every device");
+        assert_eq!(snapshot.level, TelemetryLevel::Full);
+        assert_eq!(
+            snapshot.trace_overwritten, 0,
+            "the default ring must hold this trace in full"
+        );
+        let jsonl = snapshot.to_jsonl(&[("device", &profile.name)]);
+        for line in jsonl.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "every line must be a JSON object: {line}"
+            );
+            assert!(line.contains(&format!("\"device\":\"{}\"", profile.name)));
+            if line.contains("\"type\":\"decision\"")
+                && json_field(line, "switched") == Some("true")
+            {
+                switch_lines += 1;
+            }
+            if line.contains("\"event\":\"complete\"") {
+                complete_lines += 1;
+                if json_field(line, "met_deadline") == Some("false") {
+                    miss_lines += 1;
+                    // the breakdown an SLO dashboard needs: where the
+                    // missed request spent its time
+                    let queue_ms: f64 = json_field(line, "queue_ms")
+                        .expect("complete carries queue_ms")
+                        .parse()
+                        .expect("queue_ms is a number");
+                    let infer_ms: f64 = json_field(line, "infer_ms")
+                        .expect("complete carries infer_ms")
+                        .parse()
+                        .expect("infer_ms is a number");
+                    assert!(queue_ms >= 0.0 && infer_ms > 0.0);
+                }
+            }
+        }
+    }
+
+    assert_eq!(
+        switch_lines,
+        report.total_switches(),
+        "every counted level switch must be reconstructible from decision lines"
+    );
+    assert_eq!(
+        complete_lines,
+        report.completed(),
+        "one complete event per served request"
+    );
+    assert_eq!(
+        miss_lines,
+        report.missed_deadline(),
+        "every deadline miss must be reconstructible from complete lines"
+    );
+
+    // the router's own snapshot accounts for every arrival
+    let router = report
+        .telemetry
+        .as_ref()
+        .expect("fleet report carries the router snapshot");
+    let routed: u64 = scenario
+        .devices
+        .iter()
+        .filter_map(|p| router.metrics.counter(&format!("routed_to:{}", p.name)))
+        .sum();
+    assert_eq!(
+        router.metrics.counter("router_arrivals"),
+        Some(report.arrivals)
+    );
+    assert_eq!(
+        routed + router.metrics.counter("router_unroutable").unwrap_or(0),
+        report.arrivals
+    );
+}
+
+#[test]
+fn device_counters_reconcile_with_the_report() {
+    let (report, _) = run_cliff_fleet();
+    for device in &report.devices {
+        let metrics = &device.telemetry.as_ref().expect("Full snapshot").metrics;
+        assert_eq!(
+            metrics.counter("requests_completed"),
+            Some(device.completed)
+        );
+        assert_eq!(
+            metrics.counter("deadline_missed"),
+            Some(device.missed_deadline)
+        );
+        assert_eq!(metrics.counter("switches"), Some(device.switches));
+        assert_eq!(
+            metrics.counter("requests_dropped_dead"),
+            Some(device.dropped_dead_battery)
+        );
+        assert_eq!(
+            metrics.counter("requests_dropped_trace_end"),
+            Some(device.dropped_at_trace_end)
+        );
+        let latency = metrics.histogram("latency_ms").expect("latency histogram");
+        assert_eq!(latency.count(), device.completed);
+    }
+}

@@ -1,0 +1,253 @@
+//! Controller decision audit: what the governor saw, what it chose, and how
+//! well the cost model's predictions held up.
+//!
+//! Each call into the runtime controller produces one [`DecisionRecord`]
+//! capturing the inputs (state of charge, thermal cap, dwell since the last
+//! switch, predicted time to death, predicted latency at the chosen level)
+//! and the outcome (raw governor target, chosen level after hysteresis,
+//! whether it counted as a switch). Alongside the bounded decision log the
+//! audit accumulates running prediction-vs-actual latency residuals, the
+//! ground truth for "is the cost model calibrated?".
+
+use crate::json::{json_f64, label_suffix};
+use crate::trace::RingBuffer;
+
+/// One controller decision with its inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// Simulation time of the decision.
+    pub t_ms: f64,
+    /// Battery state of charge in `[0, 1]` the governor saw.
+    pub state_of_charge: f64,
+    /// Thermal ceiling on the level index, if the thermal model imposed one.
+    pub thermal_cap: Option<usize>,
+    /// Level the governor mapped the state of charge to, before hysteresis.
+    pub raw_target: usize,
+    /// Level actually chosen after hysteresis and the thermal cap.
+    pub chosen_level: usize,
+    /// Whether the engine counted this as a model/level switch (the first
+    /// activation is a load, not a switch).
+    pub switched: bool,
+    /// Milliseconds spent at the previous level when the decision was made.
+    pub dwell_ms: f64,
+    /// Predicted time to battery death (`INFINITY` while charging).
+    pub time_to_death_ms: f64,
+    /// Cost-model latency prediction at the chosen level.
+    pub predicted_latency_ms: f64,
+}
+
+impl DecisionRecord {
+    /// One `{"type":"decision",...}` JSONL line carrying the caller's
+    /// `labels`. Non-finite inputs (infinite dwell/time-to-death) serialise
+    /// as `null`.
+    pub fn to_json(&self, labels: &[(&str, &str)]) -> String {
+        let suffix = label_suffix(labels);
+        let thermal = match self.thermal_cap {
+            Some(cap) => cap.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"type\":\"decision\",\"t_ms\":{},\"soc\":{},\"thermal_cap\":{thermal},\
+             \"raw_target\":{},\"chosen_level\":{},\"switched\":{},\"dwell_ms\":{},\
+             \"time_to_death_ms\":{},\"predicted_latency_ms\":{}{suffix}}}",
+            json_f64(self.t_ms),
+            json_f64(self.state_of_charge),
+            self.raw_target,
+            self.chosen_level,
+            self.switched,
+            json_f64(self.dwell_ms),
+            json_f64(self.time_to_death_ms),
+            json_f64(self.predicted_latency_ms)
+        )
+    }
+}
+
+/// Running prediction-vs-actual latency residuals.
+///
+/// The residual of one request is `actual − predicted` completion latency:
+/// positive means the cost model was optimistic, negative pessimistic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResidualStats {
+    /// Number of residuals observed.
+    pub count: u64,
+    /// Sum of signed residuals (bias when divided by `count`).
+    pub sum_error_ms: f64,
+    /// Sum of absolute residuals (mean absolute error when divided).
+    pub sum_abs_error_ms: f64,
+    /// Largest under-prediction (`actual − predicted`, positive side).
+    pub max_over_ms: f64,
+    /// Largest over-prediction magnitude (negative side, stored positive).
+    pub max_under_ms: f64,
+}
+
+impl ResidualStats {
+    /// Folds in one prediction/actual pair. Non-finite inputs are ignored.
+    pub fn observe(&mut self, predicted_ms: f64, actual_ms: f64) {
+        if !predicted_ms.is_finite() || !actual_ms.is_finite() {
+            return;
+        }
+        let residual = actual_ms - predicted_ms;
+        self.count += 1;
+        self.sum_error_ms += residual;
+        self.sum_abs_error_ms += residual.abs();
+        if residual > self.max_over_ms {
+            self.max_over_ms = residual;
+        }
+        if -residual > self.max_under_ms {
+            self.max_under_ms = -residual;
+        }
+    }
+
+    /// Mean signed residual — the model's bias (0 when empty).
+    pub fn mean_error_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_error_ms / self.count as f64
+        }
+    }
+
+    /// Mean absolute residual (0 when empty).
+    pub fn mean_abs_error_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_abs_error_ms / self.count as f64
+        }
+    }
+
+    /// Merges another accumulator into this one (associative).
+    pub fn merge(&mut self, other: &ResidualStats) {
+        self.count += other.count;
+        self.sum_error_ms += other.sum_error_ms;
+        self.sum_abs_error_ms += other.sum_abs_error_ms;
+        self.max_over_ms = self.max_over_ms.max(other.max_over_ms);
+        self.max_under_ms = self.max_under_ms.max(other.max_under_ms);
+    }
+
+    /// One `{"type":"residuals",...}` JSONL line carrying the caller's
+    /// `labels`.
+    pub fn to_json(&self, labels: &[(&str, &str)]) -> String {
+        let suffix = label_suffix(labels);
+        format!(
+            "{{\"type\":\"residuals\",\"count\":{},\"mean_error_ms\":{},\
+             \"mean_abs_error_ms\":{},\"max_over_ms\":{},\"max_under_ms\":{}{suffix}}}",
+            self.count,
+            json_f64(self.mean_error_ms()),
+            json_f64(self.mean_abs_error_ms()),
+            json_f64(self.max_over_ms),
+            json_f64(self.max_under_ms)
+        )
+    }
+}
+
+/// Bounded log of controller decisions plus residual accumulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionAudit {
+    ring: RingBuffer<DecisionRecord>,
+    residuals: ResidualStats,
+}
+
+impl DecisionAudit {
+    /// An audit retaining at most `capacity` decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: RingBuffer::new(capacity),
+            residuals: ResidualStats::default(),
+        }
+    }
+
+    /// Records one decision, evicting the oldest when the buffer is full.
+    pub fn record(&mut self, record: DecisionRecord) {
+        self.ring.push(record);
+    }
+
+    /// Folds one prediction/actual latency pair into the residuals.
+    pub fn record_residual(&mut self, predicted_ms: f64, actual_ms: f64) {
+        self.residuals.observe(predicted_ms, actual_ms);
+    }
+
+    /// The retained decisions, oldest first.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.ring.to_vec()
+    }
+
+    /// How many decisions were evicted to bound memory.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.overwritten()
+    }
+
+    /// The residual statistics accumulated so far.
+    pub fn residuals(&self) -> ResidualStats {
+        self.residuals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(t_ms: f64, chosen_level: usize, switched: bool) -> DecisionRecord {
+        DecisionRecord {
+            t_ms,
+            state_of_charge: 0.8,
+            thermal_cap: None,
+            raw_target: chosen_level,
+            chosen_level,
+            switched,
+            dwell_ms: 1_000.0,
+            time_to_death_ms: f64::INFINITY,
+            predicted_latency_ms: 50.0,
+        }
+    }
+
+    #[test]
+    fn audit_bounds_memory_and_keeps_newest_decisions() {
+        let mut audit = DecisionAudit::new(2);
+        for t in 0..4 {
+            audit.record(decision(t as f64, t, false));
+        }
+        let kept = audit.decisions();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].t_ms, 2.0);
+        assert_eq!(kept[1].t_ms, 3.0);
+        assert_eq!(audit.overwritten(), 2);
+    }
+
+    #[test]
+    fn residuals_track_bias_and_extremes() {
+        let mut stats = ResidualStats::default();
+        stats.observe(50.0, 58.0); // under-predicted by 8
+        stats.observe(50.0, 47.0); // over-predicted by 3
+        stats.observe(f64::INFINITY, 10.0); // ignored
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.mean_error_ms(), 2.5);
+        assert_eq!(stats.mean_abs_error_ms(), 5.5);
+        assert_eq!(stats.max_over_ms, 8.0);
+        assert_eq!(stats.max_under_ms, 3.0);
+        let mut other = ResidualStats::default();
+        other.observe(10.0, 30.0);
+        stats.merge(&other);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.max_over_ms, 20.0);
+    }
+
+    #[test]
+    fn decision_json_encodes_infinite_inputs_as_null() {
+        let json = decision(5.0, 1, true).to_json(&[("device", "d1")]);
+        assert!(json.contains("\"time_to_death_ms\":null"));
+        assert!(json.contains("\"thermal_cap\":null"));
+        assert!(json.contains("\"switched\":true"));
+        assert!(json.contains("\"device\":\"d1\""));
+        assert!(!json.contains("inf"));
+        let capped = DecisionRecord {
+            thermal_cap: Some(1),
+            ..decision(6.0, 1, false)
+        };
+        assert!(capped.to_json(&[]).contains("\"thermal_cap\":1"));
+    }
+}

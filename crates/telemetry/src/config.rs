@@ -1,0 +1,143 @@
+//! Telemetry configuration: the Off/Counters/Full dial and the ring-buffer
+//! capacities of the full level.
+
+use std::str::FromStr;
+
+/// How much the runtime records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryLevel {
+    /// Nothing is recorded; behaviour and overhead are identical to an
+    /// uninstrumented build. The default.
+    #[default]
+    Off,
+    /// Counters, gauges and streaming histograms — the cheap aggregates the
+    /// <3% overhead budget is gated on.
+    Counters,
+    /// Everything: aggregates plus per-request lifecycle tracing and the
+    /// controller decision audit.
+    Full,
+}
+
+impl TelemetryLevel {
+    /// Whether counters/gauges/histograms are recorded at this level.
+    pub fn counters_enabled(self) -> bool {
+        !matches!(self, TelemetryLevel::Off)
+    }
+
+    /// Whether tracing and the decision audit are recorded at this level.
+    pub fn full_enabled(self) -> bool {
+        matches!(self, TelemetryLevel::Full)
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Counters => "counters",
+            TelemetryLevel::Full => "full",
+        }
+    }
+}
+
+impl FromStr for TelemetryLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TelemetryLevel::Off),
+            "counters" => Ok(TelemetryLevel::Counters),
+            "full" => Ok(TelemetryLevel::Full),
+            other => Err(format!(
+                "unknown telemetry level {other:?} (expected off|counters|full)"
+            )),
+        }
+    }
+}
+
+/// Telemetry parameters of a serve/fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Recording level.
+    pub level: TelemetryLevel,
+    /// Ring-buffer bound on retained trace events (per device). Once full,
+    /// the oldest events are overwritten and counted.
+    pub trace_capacity: usize,
+    /// Ring-buffer bound on retained controller decisions (per device).
+    pub audit_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            level: TelemetryLevel::Off,
+            // ~5 events per request: enough to hold every event of the
+            // canned acceptance traces without overwriting
+            trace_capacity: 65_536,
+            audit_capacity: 8_192,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Counters-level configuration.
+    pub fn counters() -> Self {
+        Self {
+            level: TelemetryLevel::Counters,
+            ..Self::default()
+        }
+    }
+
+    /// Full-level configuration with the default ring-buffer bounds.
+    pub fn full() -> Self {
+        Self {
+            level: TelemetryLevel::Full,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.level.full_enabled() && (self.trace_capacity == 0 || self.audit_capacity == 0) {
+            return Err("full telemetry requires positive trace/audit capacities".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_gate_features() {
+        assert_eq!("off".parse::<TelemetryLevel>(), Ok(TelemetryLevel::Off));
+        assert_eq!(
+            "counters".parse::<TelemetryLevel>(),
+            Ok(TelemetryLevel::Counters)
+        );
+        assert_eq!("full".parse::<TelemetryLevel>(), Ok(TelemetryLevel::Full));
+        assert!("verbose".parse::<TelemetryLevel>().is_err());
+        assert!(!TelemetryLevel::Off.counters_enabled());
+        assert!(TelemetryLevel::Counters.counters_enabled());
+        assert!(!TelemetryLevel::Counters.full_enabled());
+        assert!(TelemetryLevel::Full.full_enabled());
+        assert_eq!(TelemetryLevel::default(), TelemetryLevel::Off);
+    }
+
+    #[test]
+    fn full_level_rejects_zero_capacities() {
+        let mut config = TelemetryConfig::full();
+        assert!(config.validate().is_ok());
+        config.trace_capacity = 0;
+        assert!(config.validate().is_err());
+        let off = TelemetryConfig {
+            trace_capacity: 0,
+            ..TelemetryConfig::default()
+        };
+        assert!(off.validate().is_ok(), "capacities are moot when off");
+    }
+}

@@ -1,0 +1,305 @@
+//! Log-bucketed streaming histogram: bounded memory, lock-free recording,
+//! associative merging and quantiles within one bucket of the true value.
+//!
+//! The bucketing is **log-linear in base 2** (the HdrHistogram layout): each
+//! power-of-two octave between `2^MIN_EXP` and `2^MAX_EXP` is divided into
+//! [`SUB_BUCKETS`] linear sub-buckets, so a value's bucket index is computed
+//! straight from its IEEE-754 bits — no `ln`, no platform-dependent libm,
+//! bit-identical on every machine. The relative bucket width is
+//! `1/SUB_BUCKETS ≈ 3%`, which bounds the quantile error: the reported
+//! quantile lands in the same bucket as the exact nearest-rank value.
+
+/// Linear sub-buckets per power-of-two octave; the relative resolution of
+/// the histogram is `1/SUB_BUCKETS`.
+const SUB_BUCKETS: usize = 32;
+/// Smallest representable exponent: values below `2^-10` (≈ 0.001 ms when
+/// recording milliseconds) collapse into the first bucket.
+const MIN_EXP: i32 = -10;
+/// Largest representable exponent: values at or above `2^20` (≈ 17 minutes
+/// in milliseconds) count in the overflow bucket, reported as the max.
+const MAX_EXP: i32 = 20;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP) as usize;
+const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+
+/// Fixed-layout log-bucketed histogram of non-negative samples (latencies,
+/// service times, batch sizes). The bucket array (~7.5 KiB) is allocated
+/// lazily on the first bucketed sample, so empty histograms — the common
+/// case in freshly minted per-worker shards — cost one pointer-sized `Vec`
+/// and merge in O(1). `counts` is either empty (no bucketed sample yet) or
+/// exactly [`BUCKETS`] long; the representation is canonical, which keeps
+/// the derived `PartialEq` honest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingHistogram {
+    counts: Vec<u64>,
+    /// Samples at or above `2^MAX_EXP`.
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: Vec::new(),
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The relative width of one bucket: quantiles are exact up to this
+    /// fraction of the reported value.
+    pub const fn relative_error() -> f64 {
+        1.0 / SUB_BUCKETS as f64
+    }
+
+    /// Records one sample. Negative and sub-minimum values collapse into the
+    /// first bucket; non-finite samples are ignored (they carry no
+    /// information a bounded histogram can hold).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        match bucket_index(value) {
+            Some(i) => {
+                if self.counts.is_empty() {
+                    self.counts = vec![0; BUCKETS];
+                }
+                self.counts[i] += 1;
+            }
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`: the smallest bucket boundary
+    /// with at least `q` of the mass at or below it, clamped to the observed
+    /// maximum. Within one bucket width (≈ 3% relative) of the exact
+    /// nearest-rank sample; returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        // the rank falls in the overflow bucket
+        self.max
+    }
+
+    /// Merges another histogram into this one. Associative and commutative:
+    /// `(a ∪ b) ∪ c` and `a ∪ (b ∪ c)` hold identical buckets, which is
+    /// what lets per-worker and per-device histograms aggregate in any
+    /// order.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if !other.counts.is_empty() {
+            if self.counts.is_empty() {
+                self.counts = other.counts.clone();
+            } else {
+                for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+                    *mine += theirs;
+                }
+            }
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The inclusive lower / exclusive upper boundaries of the bucket a
+    /// value falls into (the quantile's uncertainty interval).
+    pub fn bucket_bounds(value: f64) -> (f64, f64) {
+        match bucket_index(value) {
+            Some(i) => (bucket_lower(i), bucket_upper(i)),
+            None => (two_pow(MAX_EXP), f64::INFINITY),
+        }
+    }
+}
+
+/// `2^e` as an exact f64, for the exponent range the layout uses.
+fn two_pow(e: i32) -> f64 {
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// Bucket index of a finite value, or `None` for the overflow range.
+fn bucket_index(value: f64) -> Option<usize> {
+    if value < two_pow(MIN_EXP) {
+        // negative, zero and sub-minimum values share the first bucket
+        return Some(0);
+    }
+    if value >= two_pow(MAX_EXP) {
+        return None;
+    }
+    let bits = value.to_bits();
+    let exponent = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    // top bits of the mantissa select the linear sub-bucket inside the octave
+    let sub = (bits >> (52 - SUB_BUCKETS.trailing_zeros() as u64)) as usize & (SUB_BUCKETS - 1);
+    Some(((exponent - MIN_EXP) as usize) * SUB_BUCKETS + sub)
+}
+
+/// Inclusive lower boundary of bucket `i`.
+fn bucket_lower(i: usize) -> f64 {
+    let exponent = MIN_EXP + (i / SUB_BUCKETS) as i32;
+    let sub = (i % SUB_BUCKETS) as f64;
+    two_pow(exponent) * (1.0 + sub / SUB_BUCKETS as f64)
+}
+
+/// Exclusive upper boundary of bucket `i`.
+fn bucket_upper(i: usize) -> f64 {
+    let exponent = MIN_EXP + (i / SUB_BUCKETS) as i32;
+    let sub = (i % SUB_BUCKETS) as f64 + 1.0;
+    two_pow(exponent) * (1.0 + sub / SUB_BUCKETS as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_boundary_exact() {
+        let values = [0.001, 0.5, 1.0, 1.03, 2.0, 3.999, 4.0, 100.0, 1e5];
+        let mut last = 0usize;
+        for v in values {
+            let i = bucket_index(v).expect("in range");
+            assert!(i >= last, "bucket index must be monotone at {v}");
+            assert!(bucket_lower(i) <= v && v < bucket_upper(i), "bounds at {v}");
+            last = i;
+        }
+        // powers of two start a fresh octave exactly
+        let i = bucket_index(2.0).unwrap();
+        assert_eq!(bucket_lower(i), 2.0);
+    }
+
+    #[test]
+    fn quantiles_track_exact_nearest_rank_within_a_bucket() {
+        let mut h = StreamingHistogram::new();
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 / 7.0).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+            let exact = samples[rank - 1];
+            let (lo, hi) = StreamingHistogram::bucket_bounds(exact);
+            let approx = h.quantile(q);
+            assert!(
+                (lo..=hi).contains(&approx),
+                "q={q}: {approx} outside [{lo}, {hi}] around exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = StreamingHistogram::new();
+        for _ in 0..8 {
+            h.record(100.0);
+        }
+        // the max clamp collapses the bucket to the one observed value
+        assert_eq!(h.quantile(0.5), 100.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.min(), 100.0);
+        assert_eq!(h.mean(), 100.0);
+    }
+
+    #[test]
+    fn empty_and_edge_inputs_are_safe() {
+        let mut h = StreamingHistogram::new();
+        assert_eq!(h.quantile(0.95), 0.0);
+        assert_eq!(h.max(), 0.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0, "non-finite samples are ignored");
+        h.record(-5.0);
+        h.record(0.0);
+        assert_eq!(h.count(), 2, "sub-minimum samples are clamped, not lost");
+        assert!(h.quantile(1.0) <= 0.0);
+        h.record(1e9); // overflow range
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(1.0), 1e9, "overflow reports the observed max");
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram() {
+        let mut all = StreamingHistogram::new();
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        for i in 0..500 {
+            let v = (i as f64 * 13.7) % 400.0 + 0.01;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        // the sum differs by summation order only — compare it with a
+        // relative tolerance, everything else must be bit-identical
+        assert!((a.sum() - all.sum()).abs() <= 1e-9 * all.sum());
+        a.sum = all.sum;
+        assert_eq!(a, all, "merge must be exactly bucket-wise addition");
+    }
+}

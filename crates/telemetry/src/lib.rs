@@ -1,0 +1,166 @@
+//! # rt3-telemetry
+//!
+//! Zero-dependency observability layer of the RT3 runtime: streaming
+//! metrics, request-lifecycle tracing and a controller decision audit.
+//! The serving engine's core claim is a run-time *dance* — the controller
+//! reconfiguring V/F levels and sparse models against battery drain — and
+//! this crate produces the evidence: why a switch fired, where a missed
+//! deadline spent its time, and what the cost model predicted versus what
+//! actually happened.
+//!
+//! The building blocks:
+//!
+//! * [`StreamingHistogram`] — log-bucketed, bounded-memory, mergeable
+//!   latency histogram with quantile error of at most one bucket width
+//!   (≈ 3% relative). Per-device and per-worker histograms merge
+//!   associatively, so fleet aggregates never need the raw samples.
+//! * [`MetricRegistry`] / [`MetricShard`] — interned metric names with
+//!   plain-index shards: the hot path is an array add with no locks and no
+//!   hashing; shards merge into aggregates at window boundaries.
+//! * [`TraceRecorder`] — a bounded ring buffer of per-request span events
+//!   (admit → infer → complete/miss/reject/drop), exportable as JSONL.
+//! * [`DecisionAudit`] — a bounded ring buffer of controller decisions with
+//!   their inputs (state of charge, dwell, time to death, predicted
+//!   latency) plus running prediction-vs-actual residual statistics.
+//! * [`Clock`] — the wall-time source behind kernel/build timings, with a
+//!   deterministic [`ManualClock`] so tests never depend on the host.
+//!
+//! Everything sits behind a [`TelemetryConfig`] with three levels:
+//! [`TelemetryLevel::Off`] (the default — behaviour and overhead identical
+//! to an uninstrumented build), [`TelemetryLevel::Counters`]
+//! (counters/gauges/histograms only; the <3% overhead budget of the CI
+//! gate applies here) and [`TelemetryLevel::Full`] (adds tracing and the
+//! decision audit).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+mod clock;
+mod config;
+mod histogram;
+mod json;
+mod metrics;
+mod trace;
+
+pub use audit::{DecisionAudit, DecisionRecord, ResidualStats};
+pub use clock::{Clock, ManualClock, WallClock};
+pub use config::{TelemetryConfig, TelemetryLevel};
+pub use histogram::StreamingHistogram;
+pub use json::{json_f64, json_str};
+pub use metrics::{CounterId, GaugeId, HistogramId, MetricRegistry, MetricShard, MetricsSnapshot};
+pub use trace::{RingBuffer, TraceEvent, TraceEventKind, TraceRecorder};
+
+/// Everything one instrumented run produced, detached from the live
+/// recording machinery so it can ride inside a report: the merged metric
+/// snapshot, the (possibly truncated) trace and decision audit, and the
+/// cost-model residual statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Level the run recorded at.
+    pub level: TelemetryLevel,
+    /// Counters, gauges and histograms by name.
+    pub metrics: MetricsSnapshot,
+    /// Request-lifecycle events in record order (empty below
+    /// [`TelemetryLevel::Full`]).
+    pub trace: Vec<TraceEvent>,
+    /// Events evicted from the trace ring buffer before the snapshot.
+    pub trace_overwritten: u64,
+    /// Controller decisions in record order (empty below
+    /// [`TelemetryLevel::Full`]).
+    pub decisions: Vec<DecisionRecord>,
+    /// Decisions evicted from the audit ring buffer before the snapshot.
+    pub decisions_overwritten: u64,
+    /// Prediction-vs-actual latency residuals accumulated by the audit.
+    pub residuals: ResidualStats,
+}
+
+impl TelemetrySnapshot {
+    /// Serialises the whole snapshot as JSONL: one `{"type": "metric", ...}`
+    /// line per metric, one `{"type": "trace", ...}` line per span event and
+    /// one `{"type": "decision", ...}` line per audited decision, each
+    /// carrying the caller's extra `labels` (e.g. the device name).
+    pub fn to_jsonl(&self, labels: &[(&str, &str)]) -> String {
+        let mut out = String::new();
+        for line in self.metrics.to_jsonl_lines(labels) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for event in &self.trace {
+            out.push_str(&event.to_json(labels));
+            out.push('\n');
+        }
+        for decision in &self.decisions {
+            out.push_str(&decision.to_json(labels));
+            out.push('\n');
+        }
+        out.push_str(&self.residuals.to_json(labels));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_jsonl_emits_every_section_with_labels() {
+        let mut registry = MetricRegistry::new();
+        let c = registry.counter("served");
+        let g = registry.gauge("soc");
+        let h = registry.histogram("latency_ms");
+        let mut shard = registry.shard();
+        shard.add(c, 3);
+        shard.set(g, 0.5);
+        shard.record(h, 12.0);
+        let mut trace = TraceRecorder::new(8);
+        trace.record(TraceEvent {
+            t_ms: 1.0,
+            request_id: 7,
+            kind: TraceEventKind::Reject {
+                reason: "queue-full",
+            },
+        });
+        let mut audit = DecisionAudit::new(8);
+        audit.record(DecisionRecord {
+            t_ms: 0.0,
+            state_of_charge: 0.9,
+            thermal_cap: None,
+            raw_target: 2,
+            chosen_level: 2,
+            switched: false,
+            dwell_ms: f64::INFINITY,
+            time_to_death_ms: f64::INFINITY,
+            predicted_latency_ms: 55.0,
+        });
+        audit.record_residual(50.0, 58.0);
+        let snapshot = TelemetrySnapshot {
+            level: TelemetryLevel::Full,
+            metrics: registry.snapshot(&shard),
+            trace: trace.events(),
+            trace_overwritten: trace.overwritten(),
+            decisions: audit.decisions(),
+            decisions_overwritten: audit.overwritten(),
+            residuals: audit.residuals(),
+        };
+        let jsonl = snapshot.to_jsonl(&[("device", "d0")]);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines.len(),
+            3 + 1 + 1 + 1,
+            "metrics + trace + decision + residuals"
+        );
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(lines.iter().all(|l| l.contains("\"device\":\"d0\"")));
+        assert!(jsonl.contains("\"type\":\"metric\""));
+        assert!(jsonl.contains("\"type\":\"trace\""));
+        assert!(jsonl.contains("\"type\":\"decision\""));
+        assert!(jsonl.contains("\"type\":\"residuals\""));
+        // non-finite inputs must serialise as null, not `inf`
+        assert!(
+            !jsonl.contains("inf"),
+            "JSONL must stay valid JSON: {jsonl}"
+        );
+    }
+}

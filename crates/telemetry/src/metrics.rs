@@ -1,0 +1,310 @@
+//! Sharded metric registry: interned names, plain-index shards.
+//!
+//! A [`MetricRegistry`] owns the name space and hands out dense integer ids
+//! at registration time; a [`MetricShard`] is the matching flat storage
+//! (`Vec<u64>` counters, `Vec<Option<f64>>` gauges, histograms). The hot
+//! path — `shard.add(id, 1)` — is a bounds-checked array add: no locks, no
+//! hashing, no allocation. Every worker or device owns its own shard and
+//! merges it into an aggregate at window boundaries, which is where the
+//! histogram's associative [`StreamingHistogram::merge`] earns its keep.
+
+use crate::histogram::StreamingHistogram;
+use crate::json::{json_f64, json_str, label_suffix};
+
+/// Handle of a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle of a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle of a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// The metric name space: registration interns a name and returns the dense
+/// id shards index by.
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    counters: Vec<String>,
+    gauges: Vec<String>,
+    histograms: Vec<String>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter and returns its id.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.counters.push(name.to_string());
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers a gauge and returns its id.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.gauges.push(name.to_string());
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers a histogram and returns its id.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        self.histograms.push(name.to_string());
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// A zeroed shard matching the current registration layout. Shards
+    /// created from the same registry state merge; registering more metrics
+    /// afterwards makes older shards incompatible (length-checked).
+    pub fn shard(&self) -> MetricShard {
+        MetricShard {
+            counters: vec![0; self.counters.len()],
+            gauges: vec![None; self.gauges.len()],
+            histograms: vec![StreamingHistogram::new(); self.histograms.len()],
+        }
+    }
+
+    /// Pairs a shard's values with the registered names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` does not match this registry's layout.
+    pub fn snapshot(&self, shard: &MetricShard) -> MetricsSnapshot {
+        assert_eq!(shard.counters.len(), self.counters.len(), "layout mismatch");
+        assert_eq!(shard.gauges.len(), self.gauges.len(), "layout mismatch");
+        assert_eq!(
+            shard.histograms.len(),
+            self.histograms.len(),
+            "layout mismatch"
+        );
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .cloned()
+                .zip(shard.counters.iter().copied())
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .zip(&shard.gauges)
+                .filter_map(|(name, g)| g.map(|v| (name.clone(), v)))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .cloned()
+                .zip(shard.histograms.iter().cloned())
+                .collect(),
+        }
+    }
+}
+
+/// Flat metric storage for one worker/device, indexed by registry ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricShard {
+    counters: Vec<u64>,
+    gauges: Vec<Option<f64>>,
+    histograms: Vec<StreamingHistogram>,
+}
+
+impl MetricShard {
+    /// Adds `delta` to a counter.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0] += delta;
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0] = Some(value);
+    }
+
+    /// Current value of a gauge (`None` until first set).
+    pub fn gauge(&self, id: GaugeId) -> Option<f64> {
+        self.gauges[id.0]
+    }
+
+    /// Records a sample into a histogram.
+    pub fn record(&mut self, id: HistogramId, value: f64) {
+        self.histograms[id.0].record(value);
+    }
+
+    /// The histogram behind `id`.
+    pub fn histogram(&self, id: HistogramId) -> &StreamingHistogram {
+        &self.histograms[id.0]
+    }
+
+    /// Merges another shard of the same layout into this one: counters add,
+    /// histograms merge bucket-wise, and a gauge set in `other` overwrites
+    /// (the merged-in shard is the more recent observer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn merge(&mut self, other: &MetricShard) {
+        assert_eq!(self.counters.len(), other.counters.len(), "layout mismatch");
+        assert_eq!(self.gauges.len(), other.gauges.len(), "layout mismatch");
+        assert_eq!(
+            self.histograms.len(),
+            other.histograms.len(),
+            "layout mismatch"
+        );
+        for (mine, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.gauges.iter_mut().zip(&other.gauges) {
+            if theirs.is_some() {
+                *mine = *theirs;
+            }
+        }
+        for (mine, theirs) in self.histograms.iter_mut().zip(&other.histograms) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// Named metric values detached from the registry, ready for reporting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value (unset gauges are omitted).
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → full histogram (mergeable downstream).
+    pub histograms: Vec<(String, StreamingHistogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge by name, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&StreamingHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// One `{"type":"metric",...}` JSONL line per metric, each carrying the
+    /// caller's `labels`. Histogram lines summarise count/sum/min/max and
+    /// the p50/p90/p95/p99 quantiles.
+    pub fn to_jsonl_lines(&self, labels: &[(&str, &str)]) -> Vec<String> {
+        let suffix = label_suffix(labels);
+        let mut lines =
+            Vec::with_capacity(self.counters.len() + self.gauges.len() + self.histograms.len());
+        for (name, value) in &self.counters {
+            lines.push(format!(
+                "{{\"type\":\"metric\",\"kind\":\"counter\",\"name\":{},\"value\":{value}{suffix}}}",
+                json_str(name)
+            ));
+        }
+        for (name, value) in &self.gauges {
+            lines.push(format!(
+                "{{\"type\":\"metric\",\"kind\":\"gauge\",\"name\":{},\"value\":{}{suffix}}}",
+                json_str(name),
+                json_f64(*value)
+            ));
+        }
+        for (name, h) in &self.histograms {
+            lines.push(format!(
+                "{{\"type\":\"metric\",\"kind\":\"histogram\",\"name\":{},\"count\":{},\
+                 \"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}{suffix}}}",
+                json_str(name),
+                h.count(),
+                json_f64(h.sum()),
+                json_f64(h.min()),
+                json_f64(h.max()),
+                json_f64(h.quantile(0.50)),
+                json_f64(h.quantile(0.90)),
+                json_f64(h.quantile(0.95)),
+                json_f64(h.quantile(0.99)),
+            ));
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_index_their_own_shard_without_interference() {
+        let mut registry = MetricRegistry::new();
+        let a = registry.counter("a");
+        let b = registry.counter("b");
+        let g = registry.gauge("g");
+        let h = registry.histogram("h");
+        let mut shard = registry.shard();
+        shard.add(a, 2);
+        shard.add(b, 5);
+        shard.add(a, 1);
+        shard.set(g, 0.25);
+        shard.record(h, 10.0);
+        assert_eq!(shard.counter(a), 3);
+        assert_eq!(shard.counter(b), 5);
+        assert_eq!(shard.gauge(g), Some(0.25));
+        assert_eq!(shard.histogram(h).count(), 1);
+        let snap = registry.snapshot(&shard);
+        assert_eq!(snap.counter("a"), Some(3));
+        assert_eq!(snap.gauge("g"), Some(0.25));
+        assert_eq!(snap.histogram("h").unwrap().count(), 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn shard_merge_adds_counters_and_overwrites_gauges() {
+        let mut registry = MetricRegistry::new();
+        let c = registry.counter("c");
+        let g = registry.gauge("g");
+        let h = registry.histogram("h");
+        let mut total = registry.shard();
+        total.add(c, 1);
+        total.set(g, 1.0);
+        total.record(h, 5.0);
+        let mut worker = registry.shard();
+        worker.add(c, 2);
+        worker.record(h, 50.0);
+        total.merge(&worker);
+        assert_eq!(total.counter(c), 3);
+        assert_eq!(total.gauge(g), Some(1.0), "unset gauge does not clobber");
+        assert_eq!(total.histogram(h).count(), 2);
+        let mut newer = registry.shard();
+        newer.set(g, 0.5);
+        total.merge(&newer);
+        assert_eq!(total.gauge(g), Some(0.5), "set gauge overwrites");
+    }
+
+    #[test]
+    fn unset_gauges_are_omitted_from_snapshots() {
+        let mut registry = MetricRegistry::new();
+        let _ = registry.gauge("never-set");
+        let set = registry.gauge("set");
+        let mut shard = registry.shard();
+        shard.set(set, 7.0);
+        let snap = registry.snapshot(&shard);
+        assert_eq!(snap.gauges, vec![("set".to_string(), 7.0)]);
+        let lines = snap.to_jsonl_lines(&[]);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"name\":\"set\""));
+    }
+}

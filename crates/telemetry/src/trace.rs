@@ -1,0 +1,295 @@
+//! Request-lifecycle tracing: a bounded ring buffer of span events.
+//!
+//! Every request moving through the engine leaves a short trail — admitted
+//! (or rejected) by the scheduler, inferred inside a batch, completed
+//! against its deadline, or dropped at shutdown. The [`TraceRecorder`]
+//! keeps the most recent events in a fixed-capacity [`RingBuffer`] and
+//! counts what it had to overwrite, so a long run degrades to "recent
+//! history plus an eviction count" instead of unbounded memory.
+
+use crate::json::{json_f64, json_str, label_suffix};
+
+/// Fixed-capacity overwrite-oldest buffer that counts evictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBuffer<T> {
+    slots: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    overwritten: u64,
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// An empty buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        Self {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends `value`, evicting (and counting) the oldest element when full.
+    pub fn push(&mut self, value: T) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(value);
+        } else {
+            self.slots[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Number of retained elements.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// How many elements were evicted to make room.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// The retained elements, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.head..]);
+        out.extend_from_slice(&self.slots[..self.head]);
+        out
+    }
+}
+
+/// What happened to a request at one point in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// The scheduler accepted the request into its queue.
+    Admit {
+        /// Absolute deadline of the request.
+        deadline_ms: f64,
+        /// Queue depth right after admission.
+        queue_depth: usize,
+        /// Cost-model latency prediction at admission, if one was made.
+        predicted_ms: f64,
+    },
+    /// The scheduler turned the request away.
+    Reject {
+        /// Which admission rule fired.
+        reason: &'static str,
+    },
+    /// The request was dispatched into a batch for inference.
+    Infer {
+        /// When its batch started executing.
+        start_ms: f64,
+        /// Requests in the batch.
+        batch: usize,
+        /// Position of the active model in the level ladder.
+        level_pos: usize,
+    },
+    /// The request finished; the full timing breakdown.
+    Complete {
+        /// When the request arrived.
+        arrival_ms: f64,
+        /// When its batch started (queue wait = `start_ms - arrival_ms`).
+        start_ms: f64,
+        /// When inference finished (infer time = `finish_ms - start_ms`).
+        finish_ms: f64,
+        /// Requests in the batch.
+        batch: usize,
+        /// Position of the active model in the level ladder.
+        level_pos: usize,
+        /// Whether it beat its deadline.
+        met_deadline: bool,
+        /// Cost-model latency prediction at admission, if one was made.
+        predicted_ms: f64,
+    },
+    /// The request was discarded without running.
+    Drop {
+        /// Why it was discarded (e.g. the device died).
+        reason: &'static str,
+    },
+}
+
+impl TraceEventKind {
+    /// Short label used as the `"event"` JSON member.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEventKind::Admit { .. } => "admit",
+            TraceEventKind::Reject { .. } => "reject",
+            TraceEventKind::Infer { .. } => "infer",
+            TraceEventKind::Complete { .. } => "complete",
+            TraceEventKind::Drop { .. } => "drop",
+        }
+    }
+}
+
+/// One span event: a request, a timestamp, and what happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time the event was recorded at.
+    pub t_ms: f64,
+    /// The request this event belongs to.
+    pub request_id: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// One `{"type":"trace",...}` JSONL line carrying the caller's `labels`.
+    pub fn to_json(&self, labels: &[(&str, &str)]) -> String {
+        let suffix = label_suffix(labels);
+        let head = format!(
+            "{{\"type\":\"trace\",\"event\":{},\"t_ms\":{},\"request_id\":{}",
+            json_str(self.kind.label()),
+            json_f64(self.t_ms),
+            self.request_id
+        );
+        let body = match self.kind {
+            TraceEventKind::Admit {
+                deadline_ms,
+                queue_depth,
+                predicted_ms,
+            } => format!(
+                ",\"deadline_ms\":{},\"queue_depth\":{queue_depth},\"predicted_ms\":{}",
+                json_f64(deadline_ms),
+                json_f64(predicted_ms)
+            ),
+            TraceEventKind::Reject { reason } => {
+                format!(",\"reason\":{}", json_str(reason))
+            }
+            TraceEventKind::Infer {
+                start_ms,
+                batch,
+                level_pos,
+            } => format!(
+                ",\"start_ms\":{},\"batch\":{batch},\"level_pos\":{level_pos}",
+                json_f64(start_ms)
+            ),
+            TraceEventKind::Complete {
+                arrival_ms,
+                start_ms,
+                finish_ms,
+                batch,
+                level_pos,
+                met_deadline,
+                predicted_ms,
+            } => format!(
+                ",\"arrival_ms\":{},\"start_ms\":{},\"finish_ms\":{},\
+                 \"queue_ms\":{},\"infer_ms\":{},\"batch\":{batch},\
+                 \"level_pos\":{level_pos},\"met_deadline\":{met_deadline},\"predicted_ms\":{}",
+                json_f64(arrival_ms),
+                json_f64(start_ms),
+                json_f64(finish_ms),
+                json_f64(start_ms - arrival_ms),
+                json_f64(finish_ms - start_ms),
+                json_f64(predicted_ms)
+            ),
+            TraceEventKind::Drop { reason } => {
+                format!(",\"reason\":{}", json_str(reason))
+            }
+        };
+        format!("{head}{body}{suffix}}}")
+    }
+}
+
+/// Bounded recorder of [`TraceEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecorder {
+    ring: RingBuffer<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// A recorder retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: RingBuffer::new(capacity),
+        }
+    }
+
+    /// Records one event, evicting the oldest when the buffer is full.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.ring.push(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.to_vec()
+    }
+
+    /// How many events were evicted to bound memory.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.overwritten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_evictions() {
+        let mut ring = RingBuffer::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5u32 {
+            ring.push(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.to_vec(), vec![2, 3, 4], "oldest first after wrap");
+        assert_eq!(ring.overwritten(), 2);
+    }
+
+    #[test]
+    fn complete_events_serialise_the_timing_breakdown() {
+        let event = TraceEvent {
+            t_ms: 120.0,
+            request_id: 42,
+            kind: TraceEventKind::Complete {
+                arrival_ms: 100.0,
+                start_ms: 110.0,
+                finish_ms: 120.0,
+                batch: 4,
+                level_pos: 1,
+                met_deadline: true,
+                predicted_ms: 9.5,
+            },
+        };
+        let json = event.to_json(&[("device", "d0")]);
+        assert!(json.contains("\"event\":\"complete\""));
+        assert!(json.contains("\"queue_ms\":10"));
+        assert!(json.contains("\"infer_ms\":10"));
+        assert!(json.contains("\"met_deadline\":true"));
+        assert!(json.contains("\"device\":\"d0\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn recorder_preserves_order_and_eviction_count() {
+        let mut recorder = TraceRecorder::new(2);
+        for id in 0..4u64 {
+            recorder.record(TraceEvent {
+                t_ms: id as f64,
+                request_id: id,
+                kind: TraceEventKind::Drop { reason: "dead" },
+            });
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].request_id, 2);
+        assert_eq!(events[1].request_id, 3);
+        assert_eq!(recorder.overwritten(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the telemetry primitives:
+//!
+//! 1. histogram merging is associative and commutative — per-worker and
+//!    per-device histograms must aggregate to the same result in any order;
+//! 2. quantiles stay within one bucket width of the exact nearest-rank
+//!    sample for arbitrary sample sets and quantiles;
+//! 3. the ring buffer always retains exactly the newest `capacity` elements
+//!    in order and counts every eviction.
+
+use proptest::prelude::*;
+use rt3_telemetry::{RingBuffer, StreamingHistogram};
+
+/// Builds a histogram from a slice of samples.
+fn hist(samples: &[f64]) -> StreamingHistogram {
+    let mut h = StreamingHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+/// Compares two histograms up to floating-point summation order: bucket
+/// contents, counts and extremes must be identical, the sums within a
+/// relative epsilon.
+fn equivalent(a: &StreamingHistogram, b: &StreamingHistogram) -> bool {
+    let sums_close = (a.sum() - b.sum()).abs() <= 1e-9 * a.sum().abs().max(1.0);
+    let mut a_norm = a.clone();
+    let mut b_norm = b.clone();
+    // quantile sweep covers the buckets; min/max/count are compared directly
+    let quantiles_match =
+        (0..=20).all(|i| a_norm.quantile(i as f64 / 20.0) == b_norm.quantile(i as f64 / 20.0));
+    // also require merge-neutrality: merging the empty histogram is identity
+    let empty = StreamingHistogram::new();
+    a_norm.merge(&empty);
+    b_norm.merge(&empty);
+    sums_close
+        && quantiles_match
+        && a.count() == b.count()
+        && a.min() == b.min()
+        && a.max() == b.max()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: `(a ∪ b) ∪ c == a ∪ (b ∪ c)` and `a ∪ b == b ∪ a`,
+    /// up to floating-point summation order of the running sum.
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(0.0f64..1.0e6, 0..200),
+        ys in proptest::collection::vec(0.0f64..1.0e6, 0..200),
+        zs in proptest::collection::vec(0.0f64..1.0e6, 0..200),
+    ) {
+        let (a, b, c) = (hist(&xs), hist(&ys), hist(&zs));
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut right_tail = b.clone();
+        right_tail.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_tail);
+
+        prop_assert!(equivalent(&left, &right), "associativity");
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert!(equivalent(&ab, &ba), "commutativity");
+
+        // merging must also equal recording everything into one histogram
+        let mut all_samples = xs.clone();
+        all_samples.extend_from_slice(&ys);
+        all_samples.extend_from_slice(&zs);
+        prop_assert!(equivalent(&left, &hist(&all_samples)), "merge == record-all");
+    }
+
+    /// Invariant 2: for every quantile, the reported value lies within the
+    /// bucket of the exact nearest-rank sample (the documented error bound).
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        samples in proptest::collection::vec(0.001f64..1.0e6, 1..500),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist(&samples);
+        let mut samples = samples;
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
+        let exact = samples[rank - 1];
+        let (lo, hi) = StreamingHistogram::bucket_bounds(exact);
+        let approx = h.quantile(q);
+        // the reported value is clamped into the observed range, so the
+        // admissible interval is the exact sample's bucket ∩ [min, max]
+        let lo = lo.min(exact);
+        let hi = hi.max(exact);
+        prop_assert!(
+            approx >= lo && approx <= hi,
+            "q={}: reported {} outside [{}, {}] around exact {}",
+            q, approx, lo, hi, exact
+        );
+        // and the relative error bound the docs promise
+        prop_assert!(
+            (approx - exact).abs() <= StreamingHistogram::relative_error() * exact.abs() + 1e-12,
+            "q={}: reported {} vs exact {} breaks the one-bucket bound",
+            q, approx, exact
+        );
+    }
+
+    /// Invariant 3: after any push sequence the ring holds exactly the
+    /// newest `min(len, capacity)` elements in order, and the eviction
+    /// count equals what fell off the front.
+    #[test]
+    fn ring_buffer_retains_newest_in_order_and_counts_evictions(
+        capacity in 1usize..40,
+        values in proptest::collection::vec(0u32..1_000_000u32, 0..200),
+    ) {
+        let mut ring = RingBuffer::new(capacity);
+        for &v in &values {
+            ring.push(v);
+        }
+        let expected_len = values.len().min(capacity);
+        prop_assert_eq!(ring.len(), expected_len);
+        prop_assert_eq!(
+            ring.overwritten(),
+            values.len().saturating_sub(capacity) as u64
+        );
+        let expected: Vec<u32> = values[values.len() - expected_len..].to_vec();
+        prop_assert_eq!(ring.to_vec(), expected, "newest elements, oldest first");
+    }
+}

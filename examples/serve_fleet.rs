@@ -15,7 +15,11 @@
 //! * `RT3_SEED` — fleet traffic seed (default the `FleetConfig` default);
 //! * `RT3_SCENARIO` — `cliff` (default) or `diurnal`;
 //! * `RT3_SPH` — seconds per simulated hour for the diurnal trace
-//!   (default 5).
+//!   (default 5);
+//! * `RT3_TELEMETRY` — `jsonl:<path>`: record the runs at the `Full`
+//!   telemetry level and dump the predictive run's per-device metrics,
+//!   request traces, decision audits and router counters to `<path>` as
+//!   JSONL (one `"device"` label per line, the router as `"router"`).
 //!
 //! The pass/fail assertions only run in the default configuration — with
 //! overrides the example is exploratory.
@@ -25,12 +29,27 @@
 use rt3::core::{
     build_search_space, run_level1, run_level2_search, Rt3Config, SurrogateEvaluator, TaskProfile,
 };
-use rt3::runtime::{Fleet, FleetConfig, FleetReport, FleetScenario, RouterConfig, RoutingPolicy};
+use rt3::runtime::{
+    Fleet, FleetConfig, FleetReport, FleetScenario, RouterConfig, RoutingPolicy, TelemetryConfig,
+};
 use rt3::transformer::{TransformerConfig, TransformerLm};
+
+/// Parses `RT3_TELEMETRY=jsonl:<path>` into the JSONL sink path, `None`
+/// when the variable is unset.
+fn telemetry_sink() -> Option<std::path::PathBuf> {
+    match std::env::var("RT3_TELEMETRY") {
+        Ok(raw) => match raw.strip_prefix("jsonl:") {
+            Some(path) if !path.is_empty() => Some(path.into()),
+            _ => panic!("RT3_TELEMETRY={raw:?} (expected jsonl:<path>)"),
+        },
+        Err(_) => None,
+    }
+}
 
 fn main() {
     let seed = rt3::env::parsed("RT3_SEED", FleetConfig::default().seed);
     let scenario_name: String = rt3::env::parsed("RT3_SCENARIO", "cliff".to_string());
+    let sink = telemetry_sink();
     let default_run = seed == FleetConfig::default().seed && scenario_name == "cliff";
 
     // ---- offline: the two-level RT3 search (shared by every device) ------
@@ -104,6 +123,13 @@ fn main() {
                 workers: 2,
             },
             seed,
+            // with a JSONL sink the runs also record traces + audits; the
+            // routing behaviour itself is identical either way
+            telemetry: if sink.is_some() {
+                TelemetryConfig::full()
+            } else {
+                TelemetryConfig::default()
+            },
             ..FleetConfig::default()
         };
         let fleet = Fleet::new(
@@ -170,6 +196,27 @@ fn main() {
             .map(|d| d.real_batches)
             .sum::<u64>(),
     );
+    if let Some(path) = &sink {
+        let mut jsonl = String::new();
+        for (device, profile) in predictive.devices.iter().zip(&scenario.devices) {
+            let snapshot = device
+                .telemetry
+                .as_ref()
+                .expect("Full telemetry attaches a snapshot to every device");
+            jsonl.push_str(&snapshot.to_jsonl(&[("device", &profile.name)]));
+        }
+        let router = predictive
+            .telemetry
+            .as_ref()
+            .expect("Full telemetry attaches the router snapshot");
+        jsonl.push_str(&router.to_jsonl(&[("device", "router")]));
+        std::fs::write(path, &jsonl).expect("write telemetry JSONL");
+        println!(
+            "telemetry: {} JSONL lines written to {}",
+            jsonl.lines().count(),
+            path.display()
+        );
+    }
     if !default_run {
         println!("(overrides active — skipping the acceptance assertions)");
         return;

@@ -10,7 +10,10 @@
 //! * `RT3_SEED` — traffic seed (default the `ServeConfig` default);
 //! * `RT3_SCENARIO` — `bursty` (default), `constant`, `cliff`, `charge` or
 //!   `thermal`, each the canned 60 s variant;
-//! * `RT3_BATTERY_J` — battery capacity in joules (default 29).
+//! * `RT3_BATTERY_J` — battery capacity in joules (default 29);
+//! * `RT3_TELEMETRY` — `jsonl:<path>`: record the runs at the `Full`
+//!   telemetry level and dump the adaptive run's metrics, request trace and
+//!   controller decision audit to `<path>` as JSONL.
 //!
 //! The pass/fail assertions only run in the default configuration — with
 //! overrides the example is exploratory.
@@ -20,8 +23,22 @@
 use rt3::core::{
     build_search_space, run_level1, run_level2_search, Rt3Config, SurrogateEvaluator, TaskProfile,
 };
-use rt3::runtime::{RuntimePolicy, Scenario, ServeConfig, ServeEngine, ServeReport};
+use rt3::runtime::{
+    RuntimePolicy, Scenario, ServeConfig, ServeEngine, ServeReport, TelemetryConfig,
+};
 use rt3::transformer::{TransformerConfig, TransformerLm};
+
+/// Parses `RT3_TELEMETRY=jsonl:<path>` into the JSONL sink path, `None`
+/// when the variable is unset.
+fn telemetry_sink() -> Option<std::path::PathBuf> {
+    match std::env::var("RT3_TELEMETRY") {
+        Ok(raw) => match raw.strip_prefix("jsonl:") {
+            Some(path) if !path.is_empty() => Some(path.into()),
+            _ => panic!("RT3_TELEMETRY={raw:?} (expected jsonl:<path>)"),
+        },
+        Err(_) => None,
+    }
+}
 
 /// Compact per-window level timeline, e.g. `l6 ×34 → l4 ×21 → l3 ×35`.
 fn timeline(report: &ServeReport, config: &Rt3Config) -> String {
@@ -82,6 +99,7 @@ fn main() {
     let seed = rt3::env::parsed("RT3_SEED", ServeConfig::default().seed);
     let scenario_name: String = rt3::env::parsed("RT3_SCENARIO", "bursty".to_string());
     let battery_j = rt3::env::parsed("RT3_BATTERY_J", 29.0);
+    let sink = telemetry_sink();
     let default_run =
         seed == ServeConfig::default().seed && scenario_name == "bursty" && battery_j == 29.0;
 
@@ -127,6 +145,13 @@ fn main() {
             deadline_budget_ms: 400.0,
             policy,
             seed,
+            // with a JSONL sink the runs also record the trace + audit; the
+            // serving behaviour itself is identical either way
+            telemetry: if sink.is_some() {
+                TelemetryConfig::full()
+            } else {
+                TelemetryConfig::default()
+            },
             ..ServeConfig::default()
         };
         let mut engine = ServeEngine::new(
@@ -196,6 +221,19 @@ fn main() {
         "real sparse inference: {} micro-batches executed on the worker pool (checksum {:.3})",
         adaptive.real_batches, adaptive.inference_checksum
     );
+    if let Some(path) = &sink {
+        let snapshot = adaptive
+            .telemetry
+            .as_ref()
+            .expect("Full telemetry attaches a snapshot to the report");
+        let jsonl = snapshot.to_jsonl(&[("run", "adaptive"), ("scenario", scenario.name())]);
+        std::fs::write(path, &jsonl).expect("write telemetry JSONL");
+        println!(
+            "telemetry: {} JSONL lines written to {}",
+            jsonl.lines().count(),
+            path.display()
+        );
+    }
     if !default_run {
         println!("(overrides active — skipping the acceptance assertions)");
         return;

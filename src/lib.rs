@@ -18,7 +18,11 @@
 //! * [`core`] — the two-level RT3 framework, baselines and experiments;
 //! * [`runtime`] — the battery-aware online serving engine (model bank,
 //!   deadline scheduler, trace-driven scenarios) and the fleet layer
-//!   (battery-headroom routing across simulated devices).
+//!   (battery-headroom routing across simulated devices);
+//! * [`telemetry`] — zero-dependency observability primitives: sharded
+//!   counters/gauges/streaming histograms, the request-lifecycle trace
+//!   ring, the controller decision audit and JSONL export (wired into the
+//!   runtime behind `ServeConfig::telemetry` / `FleetConfig::telemetry`).
 //!
 //! # Examples
 //!
@@ -67,5 +71,6 @@ pub use rt3_rl as rl;
 pub use rt3_runtime as runtime;
 pub use rt3_search as search;
 pub use rt3_sparse as sparse;
+pub use rt3_telemetry as telemetry;
 pub use rt3_tensor as tensor;
 pub use rt3_transformer as transformer;
