@@ -443,12 +443,29 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         self.scheduler.queue_capacity()
     }
 
-    /// Single-request latency a request admitted at `arrival_ms` is predicted
-    /// to see: wait until a worker frees up, then one base-latency service at
-    /// the active level.
+    /// Latency a request admitted at `arrival_ms` is predicted to see:
+    /// the scheduler replays the queued backlog (batch-aware, through the
+    /// same cost-model closure dispatch uses) and the prediction is the
+    /// newcomer's simulated completion. The previous implementation asked
+    /// only for `earliest_free_ms()`, so a heavily-queued device looked
+    /// exactly as fast as an idle one to the fleet router's
+    /// predicted-latency term.
     pub(crate) fn predicted_latency_ms(&self, arrival_ms: f64) -> f64 {
-        let start = self.scheduler.earliest_free_ms().max(arrival_ms);
-        (start - arrival_ms) + self.active_base_latency_ms
+        let finish = self
+            .scheduler
+            .predicted_finish_ms(arrival_ms, &self.service_estimator());
+        finish - arrival_ms
+    }
+
+    /// The batch→service-time closure admission and routing predictions
+    /// share with dispatch: the active level's cached base latency through
+    /// the cost model's amortisation curve. Captures an `Arc` clone so the
+    /// closure doesn't borrow the device (admission mutates the scheduler).
+    fn service_estimator(&self) -> impl Fn(usize) -> f64 {
+        let level_pos = self.active_level.unwrap_or(0);
+        let base = self.active_base_latency_ms;
+        let cost = Arc::clone(&self.cost);
+        move |batch| cost.service_from_base_ms(level_pos, base, batch)
     }
 
     /// Per-request deadline budget the device was configured with.
@@ -619,7 +636,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             Some(t) if t.full() => self.predicted_latency_ms(request.arrival_ms),
             _ => 0.0,
         };
-        let result = self.scheduler.submit(request, self.active_base_latency_ms);
+        let result = self.scheduler.submit(request, self.service_estimator());
         if let Some(t) = &mut self.telemetry {
             match result {
                 Ok(()) => {

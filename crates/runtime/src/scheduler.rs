@@ -171,24 +171,87 @@ impl DeadlineScheduler {
     }
 
     /// Admission control: accepts the request into the bounded queue or
-    /// rejects it. `service_est_ms` is the engine's estimate of a
-    /// single-request service at the active level.
+    /// rejects it. `service_ms(batch)` is the engine's service-time estimate
+    /// for a micro-batch at the active level — the same closure
+    /// [`DeadlineScheduler::dispatch`] will be driven with.
+    ///
+    /// The certain-miss check runs the request through
+    /// [`DeadlineScheduler::predicted_finish_ms`], which replays the whole
+    /// backlog (batch formation included) instead of only asking when the
+    /// first worker frees up. The old backlog-blind estimate
+    /// (`earliest_free_ms().max(arrival)`) was systematically optimistic
+    /// under queueing: every request already admitted but not yet dispatched
+    /// was invisible to it, so requests that could not possibly meet their
+    /// deadline were admitted and later counted as misses instead of being
+    /// rejected up front.
     ///
     /// # Errors
     ///
     /// Returns the [`RejectReason`] when the request is turned away.
-    pub fn submit(&mut self, request: Request, service_est_ms: f64) -> Result<(), RejectReason> {
+    pub fn submit<F: Fn(usize) -> f64>(
+        &mut self,
+        request: Request,
+        service_ms: F,
+    ) -> Result<(), RejectReason> {
         if self.queue.len() >= self.config.queue_capacity {
             self.rejected_queue_full += 1;
             return Err(RejectReason::QueueFull);
         }
-        let earliest_start = self.earliest_free_ms().max(request.arrival_ms);
-        if earliest_start + service_est_ms > request.deadline_ms {
+        if self.predicted_finish_ms(request.arrival_ms, &service_ms) > request.deadline_ms {
             self.rejected_certain_miss += 1;
             return Err(RejectReason::CertainMiss);
         }
         self.queue.push_back(request);
         Ok(())
+    }
+
+    /// Predicted completion time of a request arriving at `arrival_ms`,
+    /// accounting for every request already queued ahead of it: the queued
+    /// work is replayed across the workers with the same greedy
+    /// micro-batching [`DeadlineScheduler::dispatch`] uses (least-loaded
+    /// worker, batches fill with already-arrived requests up to
+    /// `max_batch`), and the newcomer's predicted batch rides at the back.
+    /// The estimate assumes continuous dispatching and no further arrivals —
+    /// requests admitted later can still grow the newcomer's batch, so this
+    /// is a lower bound, but unlike the bare `earliest_free_ms()` it can
+    /// never ignore the backlog.
+    pub fn predicted_finish_ms<F: Fn(usize) -> f64>(&self, arrival_ms: f64, service_ms: &F) -> f64 {
+        // arrival time of the k-th pending request, with the newcomer
+        // appended at the back of the queue
+        let pending = self.queue.len() + 1;
+        let arrival = |k: usize| {
+            if k < self.queue.len() {
+                self.queue[k].arrival_ms
+            } else {
+                arrival_ms
+            }
+        };
+        let mut free = self.worker_free_at_ms.clone();
+        let mut next = 0usize;
+        loop {
+            let worker = free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("at least one worker");
+            let start = free[worker].max(arrival(next));
+            let first = next;
+            while next - first < self.config.max_batch && next < pending && arrival(next) <= start {
+                next += 1;
+            }
+            let service = service_ms(next - first);
+            debug_assert!(
+                service.is_finite() && service >= 0.0,
+                "service estimate for batch {} must be finite and non-negative, got {service}",
+                next - first
+            );
+            if next == pending {
+                // the newcomer rides in this batch
+                return start + service;
+            }
+            free[worker] = start + service;
+        }
     }
 
     /// Dispatches queued requests whose service can start before `until_ms`,
@@ -205,12 +268,15 @@ impl DeadlineScheduler {
     ) -> Vec<Completion> {
         let mut completions = Vec::new();
         while let Some(head) = self.queue.front().copied() {
-            // the least-loaded worker takes the next batch
+            // the least-loaded worker takes the next batch; total_cmp gives
+            // a total order, so a NaN free-time (which the service-time
+            // guard below should make impossible) can never scramble the
+            // selection the way partial_cmp-with-Equal-fallback could
             let worker = self
                 .worker_free_at_ms
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("at least one worker");
             let start = self.worker_free_at_ms[worker].max(head.arrival_ms);
@@ -227,6 +293,15 @@ impl DeadlineScheduler {
                 }
             }
             let service = service_ms(batch.len());
+            // a NaN or negative service time (a miscalibrated cost model)
+            // would silently corrupt `worker_free_at_ms` for the rest of
+            // the run: every later `max`/`min` comparison against NaN is
+            // false, so the poisoned worker looks permanently free
+            debug_assert!(
+                service.is_finite() && service >= 0.0,
+                "service time for batch {} must be finite and non-negative, got {service}",
+                batch.len()
+            );
             let finish = start + service;
             self.worker_free_at_ms[worker] = finish;
             for request in batch.iter() {
@@ -280,7 +355,8 @@ mod tests {
     #[test]
     fn single_request_is_served_at_predicted_latency() {
         let mut s = scheduler(2, 4, 8);
-        s.submit(request(1, 10.0, 500.0), 100.0).unwrap();
+        s.submit(request(1, 10.0, 500.0), |b| 100.0 * b as f64)
+            .unwrap();
         let done = s.dispatch(1_000.0, 1, |b| 100.0 * b as f64);
         assert_eq!(done.len(), 1);
         let c = done[0];
@@ -294,16 +370,16 @@ mod tests {
     #[test]
     fn queue_bound_and_certain_miss_admission() {
         let mut s = scheduler(1, 1, 2);
-        s.submit(request(1, 0.0, 1_000.0), 100.0).unwrap();
-        s.submit(request(2, 0.0, 1_000.0), 100.0).unwrap();
+        s.submit(request(1, 0.0, 1_000.0), |_| 100.0).unwrap();
+        s.submit(request(2, 0.0, 1_000.0), |_| 100.0).unwrap();
         assert_eq!(
-            s.submit(request(3, 0.0, 1_000.0), 100.0),
+            s.submit(request(3, 0.0, 1_000.0), |_| 100.0),
             Err(RejectReason::QueueFull)
         );
         assert_eq!(s.rejected_queue_full(), 1);
         let mut s = scheduler(1, 1, 8);
         assert_eq!(
-            s.submit(request(1, 0.0, 50.0), 100.0),
+            s.submit(request(1, 0.0, 50.0), |_| 100.0),
             Err(RejectReason::CertainMiss)
         );
         assert_eq!(s.rejected_certain_miss(), 1);
@@ -313,7 +389,7 @@ mod tests {
     fn burst_forms_micro_batches_up_to_the_cap() {
         let mut s = scheduler(1, 3, 16);
         for id in 0..5 {
-            s.submit(request(id, 0.0, 10_000.0), 50.0).unwrap();
+            s.submit(request(id, 0.0, 10_000.0), |_| 50.0).unwrap();
         }
         let done = s.dispatch(10_000.0, 0, |b| 50.0 + 10.0 * b as f64);
         assert_eq!(done.len(), 5);
@@ -325,8 +401,8 @@ mod tests {
     #[test]
     fn workers_serve_in_parallel() {
         let mut s = scheduler(2, 1, 16);
-        s.submit(request(1, 0.0, 1_000.0), 100.0).unwrap();
-        s.submit(request(2, 0.0, 1_000.0), 100.0).unwrap();
+        s.submit(request(1, 0.0, 1_000.0), |_| 100.0).unwrap();
+        s.submit(request(2, 0.0, 1_000.0), |_| 100.0).unwrap();
         let done = s.dispatch(1_000.0, 0, |_| 100.0);
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].start_ms, 0.0);
@@ -336,13 +412,13 @@ mod tests {
     #[test]
     fn dispatch_stops_at_the_window_edge() {
         let mut s = scheduler(1, 1, 16);
-        s.submit(request(1, 0.0, 10_000.0), 100.0).unwrap();
-        s.submit(request(2, 950.0, 10_000.0), 100.0).unwrap();
+        s.submit(request(1, 0.0, 10_000.0), |_| 100.0).unwrap();
+        s.submit(request(2, 950.0, 10_000.0), |_| 100.0).unwrap();
         let done = s.dispatch(1_000.0, 0, |_| 100.0);
         assert_eq!(done.len(), 2, "second starts at 950 < 1000");
         let mut s = scheduler(1, 1, 16);
-        s.submit(request(1, 0.0, 10_000.0), 100.0).unwrap();
-        s.submit(request(2, 1_100.0, 10_000.0), 100.0).unwrap();
+        s.submit(request(1, 0.0, 10_000.0), |_| 100.0).unwrap();
+        s.submit(request(2, 1_100.0, 10_000.0), |_| 100.0).unwrap();
         let done = s.dispatch(1_000.0, 0, |_| 100.0);
         assert_eq!(done.len(), 1, "arrival beyond the window stays queued");
         assert_eq!(s.queue_len(), 1);
@@ -352,8 +428,86 @@ mod tests {
     fn switch_blocking_delays_starts() {
         let mut s = scheduler(2, 4, 16);
         s.block_workers_until(500.0);
-        s.submit(request(1, 0.0, 10_000.0), 100.0).unwrap();
+        s.submit(request(1, 0.0, 10_000.0), |_| 100.0).unwrap();
         let done = s.dispatch(10_000.0, 0, |_| 100.0);
         assert_eq!(done[0].start_ms, 500.0);
+    }
+
+    /// Regression test for the backlog-blind admission bug: with four
+    /// 100 ms requests queued on a single un-dispatched worker, the old
+    /// estimate `earliest_free_ms().max(arrival) + service(1)` saw an
+    /// idle worker and predicted a 100 ms finish — admitting a newcomer
+    /// with a 250 ms budget that in reality completes at 500 ms and can
+    /// only miss. The backlog-aware estimator rejects it up front.
+    #[test]
+    fn admission_sees_queued_backlog() {
+        let service = |_: usize| 100.0;
+        let mut s = scheduler(1, 1, 16);
+        for id in 0..4 {
+            s.submit(request(id, 0.0, 10_000.0), service).unwrap();
+        }
+        let newcomer = request(99, 0.0, 250.0);
+        let old_estimate = s.earliest_free_ms().max(newcomer.arrival_ms) + service(1);
+        assert!(
+            old_estimate <= newcomer.deadline_ms,
+            "the backlog-blind estimate ({old_estimate} ms) wrongly admits"
+        );
+        assert!(
+            (s.predicted_finish_ms(newcomer.arrival_ms, &service) - 500.0).abs() < 1e-9,
+            "replaying 4 queued requests puts the newcomer's finish at 500 ms"
+        );
+        assert_eq!(
+            s.submit(newcomer, service),
+            Err(RejectReason::CertainMiss),
+            "backlog-aware admission must reject what the old check admitted"
+        );
+        // ground truth: dispatching the backlog confirms the 500 ms finish
+        let done = s.dispatch(10_000.0, 0, service);
+        assert_eq!(done.last().unwrap().finish_ms, 400.0);
+    }
+
+    /// The backlog replay mirrors dispatch's greedy batching: queued
+    /// requests amortise into micro-batches, so the estimate stays exact
+    /// (not pessimistic) when batching would compress the backlog.
+    #[test]
+    fn backlog_estimate_is_batch_aware() {
+        let service = |b: usize| 60.0 + 20.0 * b as f64;
+        let mut s = scheduler(1, 4, 16);
+        for id in 0..4 {
+            s.submit(request(id, 0.0, 10_000.0), service).unwrap();
+        }
+        // 4 queued + newcomer: one batch of 4 (140 ms), newcomer alone after
+        let predicted = s.predicted_finish_ms(0.0, &service);
+        assert!((predicted - (140.0 + 80.0)).abs() < 1e-9);
+        let done = s.dispatch(10_000.0, 0, service);
+        assert_eq!(done.last().unwrap().finish_ms, 140.0);
+    }
+
+    /// With an empty queue the backlog-aware estimator degenerates to the
+    /// old formula exactly — idle-path admission behaviour is unchanged.
+    #[test]
+    fn empty_queue_estimate_matches_old_formula() {
+        let service = |_: usize| 37.5;
+        let mut s = scheduler(2, 4, 8);
+        s.block_workers_until(120.0);
+        let old = s.earliest_free_ms().max(40.0) + service(1);
+        assert_eq!(s.predicted_finish_ms(40.0, &service), old);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn dispatch_rejects_nan_service_times() {
+        let mut s = scheduler(2, 4, 8);
+        s.submit(request(1, 0.0, 10_000.0), |_| 100.0).unwrap();
+        let _ = s.dispatch(1_000.0, 0, |_| f64::NAN);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn admission_rejects_nan_service_estimates() {
+        let mut s = scheduler(1, 1, 8);
+        let _ = s.submit(request(1, 0.0, 10_000.0), |_| f64::NAN);
     }
 }

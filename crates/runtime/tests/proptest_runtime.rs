@@ -153,7 +153,9 @@ proptest! {
             arrival_ms,
             deadline_ms: arrival_ms + predicted + 1.0,
         };
-        prop_assert!(scheduler.submit(request, predicted).is_ok());
+        prop_assert!(scheduler
+            .submit(request, |b| cost.service_ms(0, sparsity, &level, b))
+            .is_ok());
         let done = scheduler.dispatch(f64::INFINITY, 0, |b| {
             cost.service_ms(0, sparsity, &level, b)
         });

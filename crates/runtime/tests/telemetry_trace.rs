@@ -16,14 +16,18 @@ use rt3_runtime::{
 use rt3_transformer::{TransformerConfig, TransformerLm};
 
 /// Plays the heterogeneous-cliff trace at `Full` telemetry with a single
-/// slow worker per device and a deadline budget just above the base
-/// service time: greedy micro-batching then pushes some admitted requests
-/// past their deadline, so the trace contains genuine misses (admission
-/// control rejects *certain* misses, so misses only arise when the actual
-/// batch runs longer than the admit-time single-request estimate).
+/// slow worker per device (seq_len raised to 256 so service times are
+/// milliseconds, not microseconds) and a deadline budget tight enough
+/// that greedy micro-batching pushes some admitted requests past their
+/// deadline: admission replays the backlog it can see, so the only
+/// remaining miss source is a batch growing *after* admission — requests
+/// that arrive later in the window and ride the same batch stretch its
+/// service time beyond the admit-time estimate. The trace therefore
+/// contains genuine misses without any backlog-blind optimism.
 fn run_cliff_fleet() -> (FleetReport, FleetScenario) {
     let model = TransformerLm::new(TransformerConfig::tiny(32), 13);
-    let config = Rt3Config::tiny_test();
+    let mut config = Rt3Config::tiny_test();
+    config.seq_len = 256;
     let mut evaluator = SurrogateEvaluator::new(TaskProfile::wikitext2());
     let backbone = run_level1(&model, &config, &mut evaluator);
     let space = build_search_space(&model, &backbone, &config);
@@ -32,7 +36,7 @@ fn run_cliff_fleet() -> (FleetReport, FleetScenario) {
     let scenario = FleetScenario::heterogeneous_cliff();
     let fleet_cfg = FleetConfig {
         real_inference: false,
-        deadline_budget_ms: 0.4,
+        deadline_budget_ms: 16.0,
         scheduler: SchedulerConfig {
             workers: 1,
             max_batch: 16,

@@ -1,0 +1,241 @@
+//! A closed-loop, multi-connection load generator: N connections, each
+//! with exactly one outstanding request, measuring *wall-clock* end-to-end
+//! latency into the shared [`StreamingHistogram`]. This is what turns the
+//! simulated `ServeReport` numbers into measured ones.
+
+use crate::client::{InferOutcome, ServeClient};
+use crate::protocol::Status;
+use rt3_telemetry::StreamingHistogram;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent connections, each a closed loop with one outstanding
+    /// request.
+    pub connections: usize,
+    /// How long new requests are issued.
+    pub duration: Duration,
+    /// Relative deadline sent with every request.
+    pub deadline_budget_ms: f64,
+    /// Opaque payload bytes per request.
+    pub payload_len: usize,
+    /// Back-off after an explicit reject, so a saturated server is probed,
+    /// not hammered (closed-loop clients react to backpressure).
+    pub reject_backoff: Duration,
+    /// How long to keep retrying the initial connect.
+    pub connect_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            connections: 64,
+            duration: Duration::from_secs(5),
+            deadline_budget_ms: 400.0,
+            payload_len: 256,
+            reject_backoff: Duration::from_millis(20),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Everything the run observed, aggregated across connections. Every sent
+/// request is accounted under exactly one field; [`LoadReport::lost`]
+/// going to zero is the protocol's no-silent-loss guarantee.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Served within their deadline.
+    pub completed: u64,
+    /// Served after their deadline.
+    pub completed_late: u64,
+    /// Rejected: queue full.
+    pub rejected_queue_full: u64,
+    /// Rejected: certain deadline miss.
+    pub rejected_certain_miss: u64,
+    /// Dropped: battery died after admission.
+    pub dropped_dead: u64,
+    /// Refused: server draining after battery death.
+    pub draining: u64,
+    /// Dropped: server shut down after admission.
+    pub dropped_shutdown: u64,
+    /// Conversations ended by a terminal frame instead of a response.
+    pub terminal: u64,
+    /// Requests whose connection failed before a resolution arrived.
+    pub io_errors: u64,
+    /// Connections that never established.
+    pub connect_failures: u64,
+    /// Wall-clock latency of served requests (both on-time and late), ms.
+    pub wall_latency_ms: StreamingHistogram,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Requests that vanished without any resolution — no response, no
+    /// terminal frame, no socket error. Must be zero: anything else means
+    /// the server lost track of an admitted request.
+    pub fn lost(&self) -> u64 {
+        self.sent
+            - self.completed
+            - self.completed_late
+            - self.rejected_queue_full
+            - self.rejected_certain_miss
+            - self.dropped_dead
+            - self.draining
+            - self.dropped_shutdown
+            - self.terminal
+            - self.io_errors
+    }
+
+    /// Served requests (on-time + late).
+    pub fn served(&self) -> u64 {
+        self.completed + self.completed_late
+    }
+
+    fn merge(&mut self, other: &LoadReport) {
+        self.sent += other.sent;
+        self.completed += other.completed;
+        self.completed_late += other.completed_late;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_certain_miss += other.rejected_certain_miss;
+        self.dropped_dead += other.dropped_dead;
+        self.draining += other.draining;
+        self.dropped_shutdown += other.dropped_shutdown;
+        self.terminal += other.terminal;
+        self.io_errors += other.io_errors;
+        self.connect_failures += other.connect_failures;
+        self.wall_latency_ms.merge(&other.wall_latency_ms);
+    }
+
+    /// One machine-readable JSON line (the `BENCH_serve.json` row).
+    pub fn to_json(&self, label: &str, connections: usize) -> String {
+        let h = &self.wall_latency_ms;
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        let secs = self.elapsed.as_secs_f64().max(1e-9);
+        format!(
+            concat!(
+                "{{\"bench\": \"serve/{label}\", \"connections\": {conns}, ",
+                "\"duration_s\": {secs:.2}, \"sent\": {sent}, \"served\": {served}, ",
+                "\"completed\": {completed}, \"completed_late\": {late}, ",
+                "\"rejected_queue_full\": {rqf}, \"rejected_certain_miss\": {rcm}, ",
+                "\"dropped_dead\": {dd}, \"draining\": {dr}, \"dropped_shutdown\": {ds}, ",
+                "\"terminal\": {term}, \"io_errors\": {ioe}, \"lost\": {lost}, ",
+                "\"throughput_rps\": {rps:.1}, ",
+                "\"wall_p50_ms\": {p50:.3}, \"wall_p95_ms\": {p95:.3}, \"wall_p99_ms\": {p99:.3}, ",
+                "\"wall_mean_ms\": {mean:.3}, \"wall_max_ms\": {max:.3}}}"
+            ),
+            label = label,
+            conns = connections,
+            secs = secs,
+            sent = self.sent,
+            served = self.served(),
+            completed = self.completed,
+            late = self.completed_late,
+            rqf = self.rejected_queue_full,
+            rcm = self.rejected_certain_miss,
+            dd = self.dropped_dead,
+            dr = self.draining,
+            ds = self.dropped_shutdown,
+            term = self.terminal,
+            ioe = self.io_errors,
+            lost = self.lost(),
+            rps = self.served() as f64 / secs,
+            p50 = p50,
+            p95 = p95,
+            p99 = p99,
+            mean = if h.count() > 0 { h.mean() } else { 0.0 },
+            max = if h.count() > 0 { h.max() } else { 0.0 },
+        )
+    }
+}
+
+/// Runs the closed loop against `addr` and aggregates every connection's
+/// observations. Blocks until all connection threads finish.
+pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> LoadReport {
+    let started = Instant::now();
+    let next_id = Arc::new(AtomicU64::new(1));
+    let mut handles = Vec::with_capacity(config.connections);
+    for _ in 0..config.connections {
+        let config = config.clone();
+        let next_id = Arc::clone(&next_id);
+        let handle = std::thread::Builder::new()
+            .name("rt3-loadgen".into())
+            // small stacks make thousands of client threads affordable
+            .stack_size(128 * 1024)
+            .spawn(move || connection_loop(addr, &config, &next_id))
+            .expect("spawn loadgen connection thread");
+        handles.push(handle);
+    }
+    let mut total = LoadReport::default();
+    for handle in handles {
+        if let Ok(report) = handle.join() {
+            total.merge(&report);
+        }
+    }
+    total.elapsed = started.elapsed();
+    total
+}
+
+fn connection_loop(addr: SocketAddr, config: &LoadgenConfig, next_id: &AtomicU64) -> LoadReport {
+    let mut report = LoadReport::default();
+    let Ok(mut client) = ServeClient::connect_retry(addr, config.connect_timeout) else {
+        report.connect_failures += 1;
+        return report;
+    };
+    let payload = vec![0u8; config.payload_len];
+    let deadline = Instant::now() + config.duration;
+    while Instant::now() < deadline {
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        let sent_at = Instant::now();
+        report.sent += 1;
+        match client.infer(id, config.deadline_budget_ms, &payload) {
+            Ok(InferOutcome::Resolved(response)) => {
+                debug_assert_eq!(response.id, id, "responses arrive in closed-loop order");
+                match response.status {
+                    Status::Completed | Status::CompletedLate => {
+                        let wall_ms = sent_at.elapsed().as_secs_f64() * 1_000.0;
+                        report.wall_latency_ms.record(wall_ms);
+                        if response.status == Status::Completed {
+                            report.completed += 1;
+                        } else {
+                            report.completed_late += 1;
+                        }
+                    }
+                    Status::RejectedQueueFull => {
+                        report.rejected_queue_full += 1;
+                        std::thread::sleep(config.reject_backoff);
+                    }
+                    Status::RejectedCertainMiss => {
+                        report.rejected_certain_miss += 1;
+                        std::thread::sleep(config.reject_backoff);
+                    }
+                    Status::DroppedDead => report.dropped_dead += 1,
+                    Status::Draining => {
+                        // the server is draining: stop offering load
+                        report.draining += 1;
+                        break;
+                    }
+                    Status::DroppedShutdown => {
+                        report.dropped_shutdown += 1;
+                        break;
+                    }
+                }
+            }
+            Ok(InferOutcome::Terminal(_code)) => {
+                report.terminal += 1;
+                break;
+            }
+            Err(_) => {
+                report.io_errors += 1;
+                break;
+            }
+        }
+    }
+    report
+}

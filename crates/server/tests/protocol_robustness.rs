@@ -1,0 +1,218 @@
+//! Protocol robustness: hostile or broken bytes on the wire must never
+//! panic the server or lose *other* connections' responses. Every case
+//! throws malformed traffic at a live server and then proves, over a
+//! separate well-formed connection, that the server still serves.
+
+use proptest::prelude::*;
+use rt3_server::protocol::{
+    write_frame, OP_INFER, OP_METRICS, OP_TERMINAL, TERMINAL_PROTOCOL_ERROR,
+};
+use rt3_server::{InferOutcome, ServeClient, Server, ServerConfig, ServerSpec};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn spawn_server() -> Server {
+    Server::spawn(
+        "127.0.0.1:0",
+        ServerSpec::paper_default(10_000.0),
+        ServerConfig {
+            window_ms: 100.0,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The liveness probe: a fresh well-formed connection must still get a
+/// valid resolution (completion or explicit reject) out of the server.
+fn assert_still_serving(addr: SocketAddr) {
+    let mut client = ServeClient::connect_retry(addr, Duration::from_secs(5))
+        .expect("server still accepts well-formed connections");
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    match client.infer(id, 1_000.0, b"probe") {
+        Ok(InferOutcome::Resolved(response)) => {
+            assert_eq!(response.id, id, "response routed to the right request");
+        }
+        other => panic!("well-formed request must resolve, got {other:?}"),
+    }
+}
+
+fn raw_connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+}
+
+/// Reads whatever the server sends until EOF; returns the bytes. A blocked
+/// read past the timeout fails the test — the server must never leave a
+/// poisoned connection hanging silently forever without closing it.
+fn read_to_close(stream: &mut TcpStream) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::ConnectionReset
+                    || e.kind() == std::io::ErrorKind::ConnectionAborted
+                    || e.kind() == std::io::ErrorKind::BrokenPipe =>
+            {
+                break
+            }
+            Err(e) => panic!("server left a poisoned connection hanging: {e}"),
+        }
+    }
+    bytes
+}
+
+/// The terminal-protocol-error frame, as raw bytes, for matching replies.
+fn terminal_protocol_error_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &[OP_TERMINAL, TERMINAL_PROTOCOL_ERROR]).unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary garbage framed as a request: the server answers with a
+    /// terminal protocol-error frame (or closes outright) and keeps
+    /// serving everyone else.
+    #[test]
+    fn garbage_frames_poison_only_their_own_connection(
+        body in proptest::collection::vec(0u8..=255u8, 0..256),
+    ) {
+        // well-formed frames must not sneak in as "garbage": skew the
+        // opcode byte away from the valid ones
+        let mut body = body;
+        if body.first() == Some(&OP_INFER) || body.first() == Some(&OP_METRICS) {
+            body[0] = 0xEE;
+        }
+        let server = spawn_server();
+        let addr = server.local_addr();
+        let mut stream = raw_connect(addr);
+        write_frame(&mut stream, &body).unwrap();
+        let reply = read_to_close(&mut stream);
+        // empty body is Malformed too; either way the reply is the
+        // terminal frame followed by a close
+        prop_assert_eq!(reply, terminal_protocol_error_bytes());
+        assert_still_serving(addr);
+    }
+
+    /// Oversized length prefixes (up to u32::MAX) must be refused before
+    /// any allocation, not honoured or crashed on.
+    #[test]
+    fn oversized_length_prefix_is_refused(
+        len in (1u32 << 20) + 1..=u32::MAX,
+    ) {
+        let server = spawn_server();
+        let addr = server.local_addr();
+        let mut stream = raw_connect(addr);
+        stream.write_all(&len.to_le_bytes()).unwrap();
+        // a few bytes of body so the server has something to read if it
+        // (wrongly) tried to honour the length; the server may already
+        // have closed on us, so a failed write is fine
+        let _ = stream.write_all(&[0u8; 16]);
+        let reply = read_to_close(&mut stream);
+        // the refusal is explicit (terminal frame) unless the close's RST
+        // beat it to us — either way nothing was allocated or honoured
+        prop_assert!(
+            reply.is_empty() || reply == terminal_protocol_error_bytes(),
+            "unexpected reply to an oversized prefix: {:?}",
+            reply
+        );
+        assert_still_serving(addr);
+    }
+
+    /// A partial frame followed by a disconnect (the classic torn client):
+    /// no response owed, no panic, everyone else served.
+    #[test]
+    fn partial_frame_then_disconnect_is_harmless(
+        declared in 8u32..1024,
+        delivered_fraction in 0.0f64..1.0,
+    ) {
+        let server = spawn_server();
+        let addr = server.local_addr();
+        let delivered = ((declared as f64) * delivered_fraction) as usize;
+        {
+            let mut stream = raw_connect(addr);
+            stream.write_all(&declared.to_le_bytes()).unwrap();
+            stream.write_all(&vec![0u8; delivered]).unwrap();
+            // drop: mid-frame disconnect
+        }
+        assert_still_serving(addr);
+    }
+
+    /// Torn writes: a valid infer frame dribbled out in arbitrary chunks
+    /// with pauses must still parse and resolve — framing cannot depend on
+    /// TCP segment boundaries.
+    #[test]
+    fn torn_writes_still_parse(
+        chunk_len in 1usize..7,
+    ) {
+        let server = spawn_server();
+        let addr = server.local_addr();
+        let mut stream = raw_connect(addr);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let body = rt3_server::protocol::ClientFrame::encode_infer(id, 1_000.0, b"torn");
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &body).unwrap();
+        for chunk in framed.chunks(chunk_len) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // the dribbled frame still resolves to a valid response frame
+        let mut prefix = [0u8; 4];
+        stream.read_exact(&mut prefix).unwrap();
+        let len = u32::from_le_bytes(prefix) as usize;
+        let mut reply = vec![0u8; len];
+        stream.read_exact(&mut reply).unwrap();
+        let frame = rt3_server::protocol::ServerFrame::decode(&reply).unwrap();
+        let rt3_server::protocol::ServerFrame::Infer(response) = frame else {
+            panic!("expected an infer response, got {frame:?}");
+        };
+        prop_assert_eq!(response.id, id);
+        assert_still_serving(addr);
+    }
+}
+
+/// A client that disconnects after sending a request but before reading
+/// the response: the server's write fails, is counted, and other
+/// connections' traffic is untouched.
+#[test]
+fn mid_request_disconnect_never_loses_other_responses() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+    for _ in 0..8 {
+        let mut stream = raw_connect(addr);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let body = rt3_server::protocol::ClientFrame::encode_infer(id, 1_000.0, b"bye");
+        write_frame(&mut stream, &body).unwrap();
+        drop(stream); // gone before the response is due
+        assert_still_serving(addr);
+    }
+    // the abandoned responses are accounted, not lost: each of the 8
+    // requests was admitted and then either failed its write or (rarely,
+    // if the socket buffer swallowed it) completed cleanly
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.pending_requests() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.pending_requests(), 0, "no orphaned pending entries");
+    let snapshot = server.metrics_snapshot();
+    let counter = |name: &str| snapshot.metrics.counter(name).unwrap_or(0);
+    assert!(counter("requests_admitted") >= 16, "all requests admitted");
+    assert_eq!(
+        counter("requests_completed"),
+        counter("requests_admitted"),
+        "every admitted request reached a completion attempt"
+    );
+}

@@ -1,0 +1,163 @@
+//! Closed-loop socket load generator for the rt3-serve front-end: real
+//! TCP connections, real wall-clock latency, one JSON line per run (the
+//! `BENCH_serve.json` rows) — and **fails** (non-zero exit) if any request
+//! is lost (sent but never resolved by a response, terminal frame or
+//! socket error), if any connection fails, or if the latency histogram
+//! comes back empty.
+//!
+//! By default the generator spawns an in-process server on an ephemeral
+//! port and runs two loads against it:
+//!
+//! * `steady` — 64 connections, a latency-shaped row;
+//! * `saturate` — `RT3_CONNECTIONS` connections (default 1000), the
+//!   concurrency/no-silent-loss row.
+//!
+//! In in-process mode it also reconciles the server-side telemetry
+//! counters against the client-side tallies, exactly like the loopback
+//! integration tests.
+//!
+//! Environment knobs (shared `rt3::env::parsed` helper):
+//!
+//! * `RT3_SERVE_ADDR` — target an already-running server (e.g. a
+//!   `serve_socket` process) instead of spawning one in-process; the
+//!   server-side reconciliation is skipped;
+//! * `RT3_CONNECTIONS` — saturate-phase concurrency (default 1000);
+//! * `RT3_DURATION_S` — seconds of load per phase (default 5);
+//! * `RT3_DEADLINE_MS` — per-request deadline budget (default 400);
+//! * `RT3_BATTERY_J` — in-process server battery (default 10000, sized to
+//!   survive the run);
+//! * `BENCH_QUICK=1` — CI smoke mode: 32 connections, 1.5 s per phase,
+//!   steady phase only.
+//!
+//! Run with `cargo run --release --example loadgen`.
+
+use rt3::server::{loadgen, LoadgenConfig, Server, ServerConfig, ServerSpec};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let quick: u32 = rt3::env::parsed("BENCH_QUICK", 0);
+    let quick = quick != 0;
+    let connections: usize = rt3::env::parsed("RT3_CONNECTIONS", if quick { 32 } else { 1_000 });
+    let duration_s: f64 = rt3::env::parsed("RT3_DURATION_S", if quick { 1.5 } else { 5.0 });
+    let deadline_ms: f64 = rt3::env::parsed("RT3_DEADLINE_MS", 400.0);
+    let battery_j: f64 = rt3::env::parsed("RT3_BATTERY_J", 10_000.0);
+
+    // in-process server on an ephemeral port unless a target is given
+    let server = match std::env::var("RT3_SERVE_ADDR") {
+        Ok(_) => None,
+        Err(_) => Some(
+            Server::spawn(
+                "127.0.0.1:0",
+                ServerSpec::paper_default(battery_j),
+                ServerConfig::default(),
+            )
+            .expect("server spawn"),
+        ),
+    };
+    let addr: SocketAddr = match &server {
+        Some(server) => server.local_addr(),
+        None => {
+            let raw = std::env::var("RT3_SERVE_ADDR").expect("checked above");
+            raw.parse()
+                .unwrap_or_else(|_| panic!("RT3_SERVE_ADDR={raw:?} is not a socket address"))
+        }
+    };
+    println!(
+        "loadgen -> {} ({} connections saturate phase, {:.1} s/phase, {:.0} ms budget)",
+        addr, connections, duration_s, deadline_ms
+    );
+
+    // steady phase (latency-shaped) always runs; the saturate phase only
+    // when it would differ from steady
+    let mut phases = vec![("steady", connections.min(64))];
+    if !quick && connections > 64 {
+        phases.push(("saturate", connections));
+    }
+
+    let mut failures = Vec::new();
+    let mut total_served = 0u64;
+    for (label, conns) in phases {
+        let config = LoadgenConfig {
+            connections: conns,
+            duration: Duration::from_secs_f64(duration_s),
+            deadline_budget_ms: deadline_ms,
+            ..LoadgenConfig::default()
+        };
+        let report = loadgen::run(addr, &config);
+        println!(
+            "  {label}: sent {} served {} (late {}) rejected {}+{} lost {} \
+             p50 {:.1} ms p99 {:.1} ms",
+            report.sent,
+            report.served(),
+            report.completed_late,
+            report.rejected_queue_full,
+            report.rejected_certain_miss,
+            report.lost(),
+            report.wall_latency_ms.quantile(0.50),
+            report.wall_latency_ms.quantile(0.99),
+        );
+        println!("{}", report.to_json(label, conns));
+        total_served += report.served();
+        if report.lost() > 0 {
+            failures.push(format!("{label}: {} requests lost", report.lost()));
+        }
+        if report.connect_failures > 0 {
+            failures.push(format!(
+                "{label}: {} connections never established",
+                report.connect_failures
+            ));
+        }
+        if report.io_errors > 0 {
+            failures.push(format!(
+                "{label}: {} connections died mid-conversation",
+                report.io_errors
+            ));
+        }
+        if report.wall_latency_ms.count() == 0 {
+            failures.push(format!("{label}: empty wall-latency histogram"));
+        }
+    }
+
+    // in-process mode: the server's own counters must reconcile with what
+    // the clients observed across every phase
+    if let Some(server) = &server {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.pending_requests() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let snapshot = server.metrics_snapshot();
+        let counter = |name: &str| snapshot.metrics.counter(name).unwrap_or(0);
+        if server.pending_requests() > 0 {
+            failures.push(format!(
+                "{} admitted requests never resolved",
+                server.pending_requests()
+            ));
+        }
+        if counter("requests_completed") != total_served {
+            failures.push(format!(
+                "server served {} but clients saw {}",
+                counter("requests_completed"),
+                total_served
+            ));
+        }
+        println!(
+            "  server: admitted {} completed {} (missed {}) rejected {}+{} \
+             switches {}",
+            counter("requests_admitted"),
+            counter("requests_completed"),
+            counter("deadline_missed"),
+            counter("requests_rejected_queue_full"),
+            counter("requests_rejected_certain_miss"),
+            counter("switches"),
+        );
+    }
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("loadgen OK: no lost responses, histogram populated");
+}

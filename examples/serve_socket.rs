@@ -1,0 +1,69 @@
+//! Standalone rt3-serve server: binds a real TCP socket and serves the
+//! length-prefixed binary protocol until the battery dies (graceful
+//! drain) or an optional wall-clock limit elapses.
+//!
+//! Environment knobs (shared `rt3::env::parsed` helper):
+//!
+//! * `RT3_SERVE_ADDR` — bind address (default `127.0.0.1:7733`; use port
+//!   `0` for an ephemeral port, printed on startup);
+//! * `RT3_BATTERY_J` — battery capacity in joules (default 120);
+//! * `RT3_SERVE_SECS` — wall-clock limit in seconds, `0` = run until the
+//!   battery dies (default 0);
+//! * `RT3_WINDOW_MS` — governor window in milliseconds (default 1000).
+//!
+//! Point `cargo run --release --example loadgen` at the printed address
+//! via `RT3_SERVE_ADDR`, or poke it with `rt3::server::ServeClient`.
+//!
+//! Run with `cargo run --release --example serve_socket`.
+
+use rt3::server::{Server, ServerConfig, ServerSpec};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let addr: String = match std::env::var("RT3_SERVE_ADDR") {
+        Ok(raw) => raw,
+        Err(_) => "127.0.0.1:7733".to_string(),
+    };
+    let battery_j: f64 = rt3::env::parsed("RT3_BATTERY_J", 120.0);
+    let limit_secs: f64 = rt3::env::parsed("RT3_SERVE_SECS", 0.0);
+    let window_ms: f64 = rt3::env::parsed("RT3_WINDOW_MS", 1_000.0);
+
+    let spec = ServerSpec::paper_default(battery_j);
+    let levels = spec.governor.levels().len();
+    let config = ServerConfig {
+        window_ms,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::spawn(&addr, spec, config).expect("server spawn");
+    println!(
+        "serving on {} ({} governor levels, {:.0} J battery, {:.0} ms windows)",
+        server.local_addr(),
+        levels,
+        battery_j,
+        window_ms
+    );
+
+    let started = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(100));
+        if server.is_draining() {
+            println!(
+                "battery dead after {:.1} s: drained",
+                started.elapsed().as_secs_f64()
+            );
+            break;
+        }
+        if limit_secs > 0.0 && started.elapsed().as_secs_f64() >= limit_secs {
+            println!("wall-clock limit reached: shutting down");
+            break;
+        }
+    }
+    println!(
+        "{}",
+        server
+            .metrics_snapshot()
+            .to_jsonl(&[("source", "serve_socket")])
+            .trim_end()
+    );
+    server.shutdown();
+}

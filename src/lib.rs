@@ -19,6 +19,10 @@
 //! * [`runtime`] — the battery-aware online serving engine (model bank,
 //!   deadline scheduler, trace-driven scenarios) and the fleet layer
 //!   (battery-headroom routing across simulated devices);
+//! * [`server`] — the real-socket serving front-end (rt3-serve): a
+//!   length-prefixed binary protocol over `TcpListener`, admission mapped
+//!   to explicit reject codes, graceful drain on battery death, and a
+//!   closed-loop load generator measuring wall-clock latency;
 //! * [`telemetry`] — zero-dependency observability primitives: sharded
 //!   counters/gauges/streaming histograms, the request-lifecycle trace
 //!   ring, the controller decision audit and JSONL export (wired into the
@@ -70,6 +74,7 @@ pub use rt3_pruning as pruning;
 pub use rt3_rl as rl;
 pub use rt3_runtime as runtime;
 pub use rt3_search as search;
+pub use rt3_server as server;
 pub use rt3_sparse as sparse;
 pub use rt3_telemetry as telemetry;
 pub use rt3_tensor as tensor;
