@@ -1,0 +1,257 @@
+//! The global invariant harness: everything that must hold of *any* chaos
+//! run, however hostile the composition. `proptest_chaos.rs` fuzzes
+//! generated scenarios through [`check_invariants`] the way
+//! `proptest_fleet.rs` fuzzes the router, and the CI chaos smoke job gates
+//! on it.
+//!
+//! The invariant families:
+//!
+//! 1. **No request silently lost.** Attempts partition into completed /
+//!    late / rejected / dropped-dead / outstanding; jobs partition into
+//!    succeeded / late-accepted / abandoned / pending. Both partitions
+//!    must be exact, agree with the fleet report's per-device terminal
+//!    outcomes, and agree with the independently-kept telemetry counters.
+//! 2. **Battery monotone between charge events.** A device's state of
+//!    charge never rises in a window whose profile has no active charger.
+//! 3. **Aggregates consistent with per-device snapshots.** Fleet totals
+//!    equal the sum of their device parts, window reports sum to device
+//!    totals, and the merged fleet telemetry snapshot
+//!    ([`crate::FleetReport::merged_device_telemetry`]) matches the
+//!    per-device counters it merged.
+//! 4. **Retries bounded by policy.** No job issues more than
+//!    `max_attempts` attempts, and total retries respect the policy cap.
+
+use super::driver::ChaosReport;
+use super::scenario::ChaosScenario;
+
+/// Allows for f64 accumulation noise when comparing charge levels.
+const SOC_EPSILON: f64 = 1e-9;
+
+/// Checks every global invariant of `report` against the scenario that
+/// produced it. Returns all violations, not just the first — a chaos run
+/// that breaks one conservation law usually breaks several, and the full
+/// list is what makes the failure debuggable.
+///
+/// # Errors
+///
+/// Returns one human-readable line per violated invariant.
+pub fn check_invariants(chaos: &ChaosScenario, report: &ChaosReport) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    let c = &report.clients;
+    let fleet = &report.fleet;
+    let scenario = chaos.fleet_scenario();
+
+    // ── 1. no request silently lost ──────────────────────────────────────
+    let attempt_outcomes = c.attempt_completed
+        + c.attempt_late
+        + c.attempt_rejected
+        + c.attempt_dropped_dead
+        + c.attempt_outstanding;
+    if attempt_outcomes != c.attempts {
+        violations.push(format!(
+            "attempt conservation: completed {} + late {} + rejected {} + dropped {} \
+             + outstanding {} = {} != attempts {}",
+            c.attempt_completed,
+            c.attempt_late,
+            c.attempt_rejected,
+            c.attempt_dropped_dead,
+            c.attempt_outstanding,
+            attempt_outcomes,
+            c.attempts
+        ));
+    }
+    let job_outcomes = c.succeeded + c.succeeded_late + c.abandoned + c.pending_at_end;
+    if job_outcomes != c.jobs {
+        violations.push(format!(
+            "job conservation: succeeded {} + late-accepted {} + abandoned {} + pending {} \
+             = {} != jobs {}",
+            c.succeeded, c.succeeded_late, c.abandoned, c.pending_at_end, job_outcomes, c.jobs
+        ));
+    }
+    if c.attempts != c.jobs + c.retries {
+        violations.push(format!(
+            "attempts {} != jobs {} + retries {}",
+            c.attempts, c.jobs, c.retries
+        ));
+    }
+    // reconcile against the fleet's view: every attempt arrived at the
+    // router; rejected attempts are exactly the unroutable ones; device
+    // terminal outcomes match the attempt partition
+    if fleet.arrivals != c.attempts {
+        violations.push(format!(
+            "router arrivals {} != client attempts {}",
+            fleet.arrivals, c.attempts
+        ));
+    }
+    if fleet.unroutable != c.attempt_rejected {
+        violations.push(format!(
+            "router unroutable {} != rejected attempts {}",
+            fleet.unroutable, c.attempt_rejected
+        ));
+    }
+    if fleet.completed() != c.attempt_completed + c.attempt_late {
+        violations.push(format!(
+            "fleet completions {} != on-time {} + late {} attempts",
+            fleet.completed(),
+            c.attempt_completed,
+            c.attempt_late
+        ));
+    }
+    if fleet.missed_deadline() != c.attempt_late {
+        violations.push(format!(
+            "fleet deadline misses {} != late attempts {}",
+            fleet.missed_deadline(),
+            c.attempt_late
+        ));
+    }
+    let dropped_dead: u64 = fleet.devices.iter().map(|d| d.dropped_dead_battery).sum();
+    if dropped_dead != c.attempt_dropped_dead {
+        violations.push(format!(
+            "fleet dead-battery drops {} != dropped attempts {}",
+            dropped_dead, c.attempt_dropped_dead
+        ));
+    }
+    let trace_end: u64 = fleet.devices.iter().map(|d| d.dropped_at_trace_end).sum();
+    if trace_end != c.attempt_outstanding {
+        violations.push(format!(
+            "fleet trace-end drops {} != outstanding attempts {}",
+            trace_end, c.attempt_outstanding
+        ));
+    }
+    // reconcile against the independently-kept client telemetry counters
+    if let Some(snapshot) = &report.client_telemetry {
+        let expected: [(&str, u64); 10] = [
+            ("client_jobs", c.jobs),
+            ("client_suppressed", c.suppressed),
+            ("client_attempts", c.attempts),
+            ("client_retries", c.retries),
+            ("client_jobs_succeeded", c.succeeded),
+            ("client_jobs_abandoned", c.abandoned),
+            ("client_jobs_pending_at_end", c.pending_at_end),
+            ("client_attempt_late", c.attempt_late),
+            ("client_attempt_rejected", c.attempt_rejected),
+            ("client_attempt_dropped_dead", c.attempt_dropped_dead),
+        ];
+        for (name, value) in expected {
+            if snapshot.metrics.counter(name) != Some(value) {
+                violations.push(format!(
+                    "telemetry counter {name} = {:?} disagrees with client report {value}",
+                    snapshot.metrics.counter(name)
+                ));
+            }
+        }
+    }
+
+    // ── 2. battery monotone between charge events ────────────────────────
+    for (i, device) in fleet.devices.iter().enumerate() {
+        let Some(profile) = scenario.devices.get(i) else {
+            violations.push(format!("device {i} has no profile in the scenario"));
+            continue;
+        };
+        for pair in device.windows.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            let rose = next.state_of_charge > prev.state_of_charge + SOC_EPSILON;
+            if rose && profile.charge_w_at(next.t_s) <= 0.0 {
+                violations.push(format!(
+                    "{}: state of charge rose {:.6} -> {:.6} at t={} with no charger",
+                    device.scenario, prev.state_of_charge, next.state_of_charge, next.t_s
+                ));
+            }
+        }
+    }
+
+    // ── 3. aggregates consistent with per-device snapshots ───────────────
+    for device in &fleet.devices {
+        let window_completed: u64 = device.windows.iter().map(|w| w.completed).sum();
+        if window_completed != device.completed {
+            violations.push(format!(
+                "{}: window completions {} != device total {}",
+                device.scenario, window_completed, device.completed
+            ));
+        }
+        let window_arrivals: u64 = device.windows.iter().map(|w| w.arrivals).sum();
+        if window_arrivals != device.arrivals {
+            violations.push(format!(
+                "{}: window arrivals {} != device total {}",
+                device.scenario, window_arrivals, device.arrivals
+            ));
+        }
+    }
+    let routed: u64 = fleet.devices.iter().map(|d| d.arrivals).sum();
+    if routed + fleet.unroutable != fleet.arrivals {
+        violations.push(format!(
+            "routed {} + unroutable {} != arrivals {}",
+            routed, fleet.unroutable, fleet.arrivals
+        ));
+    }
+    if let Some(merged) = fleet.merged_device_telemetry() {
+        let admitted: u64 = fleet
+            .devices
+            .iter()
+            .filter_map(|d| d.telemetry.as_ref())
+            .filter_map(|t| t.metrics.counter("requests_admitted"))
+            .sum();
+        if merged.metrics.counter("requests_admitted") != Some(admitted) {
+            violations.push(format!(
+                "merged telemetry requests_admitted {:?} != per-device sum {admitted}",
+                merged.metrics.counter("requests_admitted")
+            ));
+        }
+        let completed: u64 = fleet
+            .devices
+            .iter()
+            .filter_map(|d| d.telemetry.as_ref())
+            .filter_map(|t| t.metrics.counter("requests_completed"))
+            .sum();
+        if merged.metrics.counter("requests_completed") != Some(completed) {
+            violations.push(format!(
+                "merged telemetry requests_completed {:?} != per-device sum {completed}",
+                merged.metrics.counter("requests_completed")
+            ));
+        }
+        if completed != fleet.completed() {
+            violations.push(format!(
+                "telemetry requests_completed {} != report completions {}",
+                completed,
+                fleet.completed()
+            ));
+        }
+        let hist_count = merged
+            .metrics
+            .histogram("latency_ms")
+            .map(|h| h.count())
+            .unwrap_or(0);
+        let device_hist: u64 = fleet.devices.iter().map(|d| d.latency_hist.count()).sum();
+        if hist_count != device_hist {
+            violations.push(format!(
+                "merged latency histogram count {hist_count} != per-device sum {device_hist}"
+            ));
+        }
+    }
+
+    // ── 4. retries bounded by policy ─────────────────────────────────────
+    let policy = &chaos.clients;
+    let max_attempts = policy.max_attempts as u64;
+    if c.jobs > 0 && c.retries > c.jobs * (max_attempts - 1) {
+        violations.push(format!(
+            "retries {} exceed jobs {} x (max_attempts {} - 1)",
+            c.retries, c.jobs, max_attempts
+        ));
+    }
+    if let Some(snapshot) = &report.client_telemetry {
+        if let Some(hist) = snapshot.metrics.histogram("client_attempts_per_job") {
+            if hist.count() > 0 && hist.max() > max_attempts as f64 + SOC_EPSILON {
+                violations.push(format!(
+                    "a job issued {} attempts, above the policy cap {max_attempts}",
+                    hist.max()
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}

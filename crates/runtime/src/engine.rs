@@ -16,7 +16,7 @@ use crate::cost::{Analytic, CostConfig, CostModel, LatencyModel};
 use crate::pool;
 use crate::report::{ServeReport, WindowReport};
 use crate::scenario::Scenario;
-use crate::scheduler::{DeadlineScheduler, RejectReason, Request, SchedulerConfig};
+use crate::scheduler::{Completion, DeadlineScheduler, RejectReason, Request, SchedulerConfig};
 use crate::telemetry::DeviceTelemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -672,8 +672,10 @@ impl<'m, M: Model> DeviceSim<'m, M> {
     }
 
     /// Finishes a window on a dead device: queued and incoming requests are
-    /// lost, and a dead window report is recorded.
-    pub(crate) fn record_dead_window(&mut self, t_s: u32, arrivals: u64) {
+    /// lost, and a dead window report is recorded. Returns the queued
+    /// requests the death dropped so closed-loop callers can retry them
+    /// elsewhere; open-loop callers ignore the return.
+    pub(crate) fn record_dead_window(&mut self, t_s: u32, arrivals: u64) -> Vec<Request> {
         self.arrivals_total += arrivals;
         let dropped_requests = self.scheduler.drain_queue();
         self.dropped_dead += dropped_requests.len() as u64 + arrivals;
@@ -685,7 +687,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
                 .add(t.ids.dropped_dead, dropped_requests.len() as u64 + arrivals);
             t.shard.set(t.ids.queue_depth, 0.0);
             let now_ms = t_s as f64 * WINDOW_MS;
-            for request in dropped_requests {
+            for request in &dropped_requests {
                 t.settle_prediction(request.id, None);
                 t.trace_event(TraceEvent {
                     t_ms: now_ms,
@@ -706,11 +708,14 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             rejected: 0,
             switched: false,
         });
+        dropped_requests
     }
 
     /// Dispatches, charges energy, replays real inference and records the
     /// window report for a live window started with
-    /// [`DeviceSim::begin_window`].
+    /// [`DeviceSim::begin_window`]. Returns this window's completions so
+    /// closed-loop callers can settle per-request outcomes (deadline met or
+    /// missed); open-loop callers ignore the return.
     pub(crate) fn end_window(
         &mut self,
         t_s: u32,
@@ -718,7 +723,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
         arrivals: u64,
         rejected_window: u64,
         background_j: f64,
-    ) {
+    ) -> Vec<Completion> {
         self.arrivals_total += arrivals;
         let level_pos = self.active_level.expect("window began on a live device");
         let level = self.levels[level_pos];
@@ -864,6 +869,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
             rejected: rejected_window,
             switched: self.last_switched,
         });
+        completions
     }
 
     /// A snapshot of everything telemetry has recorded so far (`None` when

@@ -386,12 +386,12 @@ impl FleetConfig {
 /// own battery, controller, bank and scheduler; the fleet shares only the
 /// offline artifacts (model, masks, pattern space, search outcome).
 pub struct Fleet<'m, M: Model> {
-    devices: Vec<DeviceSim<'m, M>>,
-    router: Router,
-    config: FleetConfig,
+    pub(crate) devices: Vec<DeviceSim<'m, M>>,
+    pub(crate) router: Router,
+    pub(crate) config: FleetConfig,
     /// The trace the fleet was built for; [`Fleet::run`] plays exactly this
     /// one, so devices can never be driven by mismatched profiles.
-    scenario: FleetScenario,
+    pub(crate) scenario: FleetScenario,
 }
 
 impl<'m, M: Model> Fleet<'m, M> {
@@ -618,7 +618,7 @@ impl<'m, M: Model> Fleet<'m, M> {
 
     /// The router's view of one device for a request arriving at
     /// `arrival_ms`.
-    fn snapshot(device: &DeviceSim<'m, M>, arrival_ms: f64) -> DeviceSnapshot {
+    pub(crate) fn snapshot(device: &DeviceSim<'m, M>, arrival_ms: f64) -> DeviceSnapshot {
         DeviceSnapshot {
             alive: !device.is_dead(),
             state_of_charge: device.state_of_charge(),

@@ -256,6 +256,27 @@ impl FleetReport {
         all.quantile(q)
     }
 
+    /// Fleet-wide aggregate telemetry: every device's
+    /// [`TelemetrySnapshot`] merged into one ([`TelemetrySnapshot::merge`]
+    /// — counters add, histograms bucket-merge, traces concatenate), so a
+    /// fleet run exports a single `latency_ms` histogram or
+    /// `requests_completed` counter without touching raw samples. Returns
+    /// `None` when the fleet is empty or any device ran without telemetry
+    /// (a partial aggregate would silently under-count). Router counters
+    /// ([`FleetReport::telemetry`]) are kept separate — merge them in with
+    /// another [`TelemetrySnapshot::merge`] call if one stream is wanted.
+    pub fn merged_device_telemetry(&self) -> Option<TelemetrySnapshot> {
+        let mut merged: Option<TelemetrySnapshot> = None;
+        for device in &self.devices {
+            let snapshot = device.telemetry.as_ref()?;
+            match &mut merged {
+                Some(m) => m.merge(snapshot),
+                None => merged = Some(snapshot.clone()),
+            }
+        }
+        merged
+    }
+
     /// One-line fleet summary.
     pub fn summary(&self) -> String {
         format!(

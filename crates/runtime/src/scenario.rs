@@ -232,7 +232,16 @@ impl Scenario {
     /// Arrival offsets (milliseconds into the window) for the one-second
     /// window starting at `t_s`, sorted ascending.
     pub fn arrivals_in_second(&self, t_s: u32, rng: &mut StdRng) -> Vec<f64> {
-        let rate = self.rate_at(t_s);
+        Self::draw_arrivals(self.rate_at(t_s), rng)
+    }
+
+    /// Arrival offsets for one window at an explicit `rate`, sorted
+    /// ascending. [`Scenario::arrivals_in_second`] is this at
+    /// [`Scenario::rate_at`]; chaos overlays call it directly with a
+    /// multiplied rate. The RNG call sequence (one Bernoulli draw for the
+    /// fractional part, then one uniform draw per arrival) is part of the
+    /// replay contract — golden traces depend on it.
+    pub fn draw_arrivals(rate: f64, rng: &mut StdRng) -> Vec<f64> {
         if rate <= 0.0 {
             return Vec::new();
         }

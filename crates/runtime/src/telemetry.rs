@@ -277,3 +277,92 @@ impl FleetTelemetry {
         }
     }
 }
+
+/// The closed-loop client population's metric schema for chaos runs: job
+/// lifecycle counters (issued/succeeded/abandoned/pending), per-attempt
+/// outcome counters, and an attempts-per-job histogram. The chaos driver
+/// increments these *independently* of its [`crate::chaos::ClientReport`]
+/// bookkeeping so the invariant harness can reconcile the two — a
+/// divergence means the driver lost track of a request. Names are part of
+/// the DESIGN.md §11 JSONL contract.
+pub(crate) struct ChaosTelemetry {
+    registry: MetricRegistry,
+    shard: MetricShard,
+    pub(crate) jobs: CounterId,
+    pub(crate) suppressed: CounterId,
+    pub(crate) attempts: CounterId,
+    pub(crate) retries: CounterId,
+    pub(crate) succeeded: CounterId,
+    pub(crate) abandoned: CounterId,
+    pub(crate) pending_at_end: CounterId,
+    pub(crate) attempt_late: CounterId,
+    pub(crate) attempt_rejected: CounterId,
+    pub(crate) attempt_dropped_dead: CounterId,
+    pub(crate) attempt_outstanding: CounterId,
+    pub(crate) attempts_per_job: HistogramId,
+    level: TelemetryLevel,
+}
+
+impl ChaosTelemetry {
+    /// Builds the client population's recording state, or `None` when
+    /// telemetry is off.
+    pub(crate) fn new(config: TelemetryConfig) -> Option<Self> {
+        if !config.level.counters_enabled() {
+            return None;
+        }
+        let mut registry = MetricRegistry::new();
+        let jobs = registry.counter("client_jobs");
+        let suppressed = registry.counter("client_suppressed");
+        let attempts = registry.counter("client_attempts");
+        let retries = registry.counter("client_retries");
+        let succeeded = registry.counter("client_jobs_succeeded");
+        let abandoned = registry.counter("client_jobs_abandoned");
+        let pending_at_end = registry.counter("client_jobs_pending_at_end");
+        let attempt_late = registry.counter("client_attempt_late");
+        let attempt_rejected = registry.counter("client_attempt_rejected");
+        let attempt_dropped_dead = registry.counter("client_attempt_dropped_dead");
+        let attempt_outstanding = registry.counter("client_attempt_outstanding");
+        let attempts_per_job = registry.histogram("client_attempts_per_job");
+        let shard = registry.shard();
+        Some(Self {
+            registry,
+            shard,
+            jobs,
+            suppressed,
+            attempts,
+            retries,
+            succeeded,
+            abandoned,
+            pending_at_end,
+            attempt_late,
+            attempt_rejected,
+            attempt_dropped_dead,
+            attempt_outstanding,
+            attempts_per_job,
+            level: config.level,
+        })
+    }
+
+    /// Adds to one of the registered counters.
+    pub(crate) fn add(&mut self, id: CounterId, delta: u64) {
+        self.shard.add(id, delta);
+    }
+
+    /// Records into the attempts-per-job histogram.
+    pub(crate) fn record(&mut self, id: HistogramId, value: f64) {
+        self.shard.record(id, value);
+    }
+
+    /// Detaches the client metrics into a snapshot for the chaos report.
+    pub(crate) fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            level: self.level,
+            metrics: self.registry.snapshot(&self.shard),
+            trace: Vec::new(),
+            trace_overwritten: 0,
+            decisions: Vec::new(),
+            decisions_overwritten: 0,
+            residuals: Default::default(),
+        }
+    }
+}

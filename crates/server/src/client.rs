@@ -40,6 +40,24 @@ impl ServeClient {
         })
     }
 
+    /// Sets the socket's read and write deadlines (`None` waits forever).
+    /// A blocking [`ServeClient::infer`] whose response does not arrive in
+    /// time then fails with a timeout error
+    /// ([`ProtocolError::is_timeout`]) instead of hanging — what the load
+    /// generator's retry policy keys on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
+
     /// Connects to `addr`, retrying until `timeout` elapses — servers
     /// started in another process need a moment to bind.
     ///

@@ -1,0 +1,235 @@
+//! Seeded adversarial clients for the server boundary: torn writes,
+//! mid-request disconnects, garbage frames and hung peers. A
+//! [`FaultPlan`] is a reproducible sequence of [`Fault`]s (drawn from a
+//! seed or written out by hand) that [`FaultPlan::run`] replays against a
+//! live server, reporting what each misbehaving client observed.
+//!
+//! The point of every fault is *blast-radius containment*: a misbehaving
+//! connection may poison itself, but the server must keep serving
+//! well-behaved traffic, keep its counters reconciled, and never wedge a
+//! connection thread on a peer that stops talking mid-frame (the read
+//! timeout reaps those with an explicit [`TERMINAL_IDLE_TIMEOUT`]).
+
+use crate::protocol::{read_frame, write_frame, ClientFrame, ServerFrame, TERMINAL_IDLE_TIMEOUT};
+use crate::rng;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One adversarial client behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Send a length prefix promising a full infer frame, deliver only a
+    /// strict prefix of the body, and disconnect. The server sees a
+    /// disconnect mid-frame (a socket error, not a protocol error).
+    TornWrite,
+    /// Send one complete, valid infer request and disconnect without
+    /// reading the response. The server's response write fails and is
+    /// counted as `responses_failed`; the request itself is still served.
+    DropBeforeResponse,
+    /// Send a well-framed body with an opcode the server does not speak.
+    /// Counted as `protocol_errors` and answered with a terminal frame.
+    Garbage,
+    /// Send a partial length prefix and then go silent, holding the
+    /// connection open. The server's read timeout must reap it with
+    /// [`TERMINAL_IDLE_TIMEOUT`] — this client waits (bounded by
+    /// [`FaultPlan::hold`]) and records whether the reap arrived.
+    HangThenClose,
+}
+
+/// A reproducible sequence of faults to replay against one server.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seeds the payload sizes, tear points and fault draws.
+    pub seed: u64,
+    /// The faults, executed in order on fresh connections.
+    pub faults: Vec<Fault>,
+    /// How long a [`Fault::HangThenClose`] client waits for the server to
+    /// reap it before giving up. Must comfortably exceed the server's
+    /// `read_timeout` for the reap to be observable.
+    pub hold: Duration,
+}
+
+/// What the misbehaving clients observed, per fault kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Torn-write clients that connected and tore their frame.
+    pub torn_writes: u64,
+    /// Clients that sent a full request and vanished before the response.
+    pub disconnects: u64,
+    /// Garbage frames delivered.
+    pub garbage: u64,
+    /// Hung peers injected.
+    pub hangs: u64,
+    /// Hung peers that saw the server end the conversation (terminal
+    /// frame or close) within the hold — i.e. reaps actually observed.
+    pub reaped: u64,
+    /// Faults skipped because the connection never established.
+    pub connect_failures: u64,
+}
+
+impl FaultPlan {
+    /// Draws `count` faults uniformly from the four kinds, seeded — the
+    /// standard chaos mix.
+    pub fn standard(seed: u64, count: usize) -> Self {
+        let mut state = rng::substream(seed, 0xFA01);
+        let kinds = [
+            Fault::TornWrite,
+            Fault::DropBeforeResponse,
+            Fault::Garbage,
+            Fault::HangThenClose,
+        ];
+        let faults = (0..count)
+            .map(|_| kinds[(rng::splitmix64(&mut state) % kinds.len() as u64) as usize])
+            .collect();
+        Self {
+            seed,
+            faults,
+            hold: Duration::from_secs(2),
+        }
+    }
+
+    /// Replays the plan against `addr`, one fresh connection per fault.
+    /// Infallible by design: a connect failure is reported, not raised —
+    /// a chaos run should keep injecting even if the server briefly
+    /// refuses connections.
+    pub fn run(&self, addr: SocketAddr) -> FaultReport {
+        let mut report = FaultReport::default();
+        let mut state = rng::substream(self.seed, 0xFA02);
+        for (index, fault) in self.faults.iter().enumerate() {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                report.connect_failures += 1;
+                continue;
+            };
+            let _ = stream.set_nodelay(true);
+            match fault {
+                Fault::TornWrite => {
+                    let payload_len = 16 + (rng::splitmix64(&mut state) % 240) as usize;
+                    let body =
+                        ClientFrame::encode_infer(index as u64, 100.0, &vec![0u8; payload_len]);
+                    // promise the whole body, deliver a strict prefix
+                    let cut = 1 + (rng::splitmix64(&mut state) as usize % (body.len() - 1));
+                    let mut torn = Vec::with_capacity(4 + cut);
+                    torn.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                    torn.extend_from_slice(&body[..cut]);
+                    let _ = stream.write_all(&torn);
+                    report.torn_writes += 1;
+                }
+                Fault::DropBeforeResponse => {
+                    let body = ClientFrame::encode_infer(index as u64, 100.0, &[0u8; 8]);
+                    let _ = write_frame(&mut stream, &body);
+                    report.disconnects += 1;
+                }
+                Fault::Garbage => {
+                    let mut body = vec![0x7Fu8; 4];
+                    body[1] = (rng::splitmix64(&mut state) & 0xFF) as u8;
+                    let _ = write_frame(&mut stream, &body);
+                    report.garbage += 1;
+                    // drain whatever terminal frame the server answers with
+                    let _ = stream.set_read_timeout(Some(self.hold));
+                    let _ = read_frame(&mut stream, 1 << 20);
+                }
+                Fault::HangThenClose => {
+                    report.hangs += 1;
+                    let _ = stream.write_all(&[0x01, 0x02]); // half a prefix
+                    let _ = stream.set_read_timeout(Some(self.hold));
+                    match read_frame(&mut stream, 1 << 20) {
+                        // a terminal frame (or a clean close) within the
+                        // hold means the server reaped the hung peer
+                        Ok(Some(body))
+                            if matches!(
+                                ServerFrame::decode(&body),
+                                Ok(ServerFrame::Terminal(TERMINAL_IDLE_TIMEOUT))
+                            ) =>
+                        {
+                            report.reaped += 1;
+                        }
+                        Ok(None) => report.reaped += 1,
+                        _ => {}
+                    }
+                }
+            }
+            // dropping the stream closes the connection
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InferOutcome, ServeClient, Server, ServerConfig, ServerSpec};
+
+    fn spawn_server(read_timeout: Duration) -> Server {
+        Server::spawn(
+            "127.0.0.1:0",
+            ServerSpec::paper_default(10_000.0),
+            ServerConfig {
+                window_ms: 50.0,
+                read_timeout: Some(read_timeout),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standard_plans_are_seeded_and_cover_every_kind() {
+        let a = FaultPlan::standard(7, 64);
+        let b = FaultPlan::standard(7, 64);
+        assert_eq!(a.faults, b.faults, "same seed, same plan");
+        let c = FaultPlan::standard(8, 64);
+        assert_ne!(a.faults, c.faults, "different seed, different plan");
+        for kind in [
+            Fault::TornWrite,
+            Fault::DropBeforeResponse,
+            Fault::Garbage,
+            Fault::HangThenClose,
+        ] {
+            assert!(a.faults.contains(&kind), "{kind:?} appears in 64 draws");
+        }
+    }
+
+    #[test]
+    fn server_survives_the_standard_fault_mix() {
+        let server = spawn_server(Duration::from_millis(200));
+        let plan = FaultPlan {
+            hold: Duration::from_secs(2),
+            ..FaultPlan::standard(42, 12)
+        };
+        let report = plan.run(server.local_addr());
+        assert_eq!(report.connect_failures, 0, "server accepted every fault");
+        assert_eq!(report.reaped, report.hangs, "every hung peer was reaped");
+
+        // the server still serves well-behaved traffic afterwards
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        let outcome = client.infer(1, 1_000.0, b"after the storm").unwrap();
+        let InferOutcome::Resolved(response) = outcome else {
+            panic!("healthy request answered with a terminal frame");
+        };
+        assert!(response.status.served(), "server serves after the faults");
+
+        // counters: garbage frames counted as protocol errors, hung peers
+        // as timeouts; torn writes are socket errors, not protocol errors.
+        // Fault clients that vanish without a round trip may still be in
+        // the accept path, so poll briefly instead of snapshotting once.
+        let expected_opened =
+            report.torn_writes + report.disconnects + report.garbage + report.hangs + 1;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snapshot = server.metrics_snapshot();
+            let counter = |name: &str| snapshot.metrics.counter(name).unwrap_or(0);
+            if counter("connections_opened") == expected_opened {
+                assert_eq!(counter("protocol_errors"), report.garbage);
+                assert_eq!(counter("connections_timed_out"), report.hangs);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server opened {} connections, expected {expected_opened}",
+                counter("connections_opened")
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}

@@ -16,8 +16,11 @@
 //! * [`Server`] — the thread-per-connection server around one
 //!   mutex-guarded core (scheduler + governor + battery).
 //! * [`ServeClient`] — a blocking client for the protocol.
-//! * [`loadgen`] — the closed-loop multi-connection load generator
-//!   measuring wall-clock latency histograms.
+//! * [`loadgen`] — the closed-loop multi-connection load generator:
+//!   wall-clock latency histograms plus a timeout-retry-abandon
+//!   [`RetryPolicy`] per connection.
+//! * [`fault`] — seeded adversarial clients (torn writes, mid-request
+//!   disconnects, hung peers) for probing the server boundary.
 //!
 //! See DESIGN.md §10 for the frame layout and drain semantics.
 //!
@@ -48,11 +51,14 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod fault;
 pub mod loadgen;
 pub mod protocol;
+mod rng;
 mod server;
 
 pub use client::{InferOutcome, ServeClient};
-pub use loadgen::{LoadReport, LoadgenConfig};
+pub use fault::{Fault, FaultPlan, FaultReport};
+pub use loadgen::{LoadReport, LoadgenConfig, RetryPolicy};
 pub use protocol::{InferResponse, ProtocolError, Status};
 pub use server::{Server, ServerConfig, ServerSpec};

@@ -2,14 +2,70 @@
 //! with exactly one outstanding request, measuring *wall-clock* end-to-end
 //! latency into the shared [`StreamingHistogram`]. This is what turns the
 //! simulated `ServeReport` numbers into measured ones.
+//!
+//! Clients are *closed-loop with retry*: each connection works through a
+//! sequence of **jobs**, and a job may take several wire **attempts**. A
+//! reject, an admitted-then-dropped request or a request timeout is
+//! retried after exponential backoff with seeded jitter, up to
+//! [`RetryPolicy::max_attempts`]; exhausting the budget abandons the job.
+//! Terminal frames, drains and socket errors abort the connection. Every
+//! attempt resolves under exactly one [`LoadReport`] field
+//! ([`LoadReport::lost`] is the no-silent-loss check) and every job ends
+//! exactly one of succeeded / abandoned / aborted.
 
 use crate::client::{InferOutcome, ServeClient};
 use crate::protocol::Status;
+use crate::rng;
 use rt3_telemetry::StreamingHistogram;
+use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How a connection retries a job whose attempt did not get served:
+/// exponential backoff (`backoff_base * backoff_factor^(attempt-1)`) plus
+/// a uniform seeded jitter draw in `[0, jitter)`, for at most
+/// `max_attempts` wire attempts per job.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Wire attempts per job before it is abandoned (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Multiplier applied to the backoff per further retry.
+    pub backoff_factor: f64,
+    /// Upper bound of the uniform jitter added to every backoff.
+    pub jitter: Duration,
+    /// Per-request response deadline. A response that does not arrive in
+    /// time counts as a timeout and the connection is re-established (a
+    /// late response on the old socket would desynchronise the closed
+    /// loop). `None` waits forever.
+    pub request_timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(20),
+            backoff_factor: 2.0,
+            jitter: Duration::from_millis(10),
+            request_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt + 1`, given that `attempt`
+    /// (1-based) just failed. Deterministic in the rng state.
+    fn delay(&self, attempt: u32, rng_state: &mut u64) -> Duration {
+        let exp = self.backoff_factor.powi(attempt.saturating_sub(1) as i32);
+        let base = self.backoff_base.as_secs_f64() * exp;
+        let jitter = self.jitter.as_secs_f64() * rng::uniform(rng_state);
+        Duration::from_secs_f64(base + jitter)
+    }
+}
 
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
@@ -17,15 +73,18 @@ pub struct LoadgenConfig {
     /// Concurrent connections, each a closed loop with one outstanding
     /// request.
     pub connections: usize,
-    /// How long new requests are issued.
+    /// How long new jobs are issued (a job already being retried is
+    /// allowed to finish its attempt budget past this deadline).
     pub duration: Duration,
     /// Relative deadline sent with every request.
     pub deadline_budget_ms: f64,
     /// Opaque payload bytes per request.
     pub payload_len: usize,
-    /// Back-off after an explicit reject, so a saturated server is probed,
-    /// not hammered (closed-loop clients react to backpressure).
-    pub reject_backoff: Duration,
+    /// Timeout-retry-abandon behaviour of every connection.
+    pub retry: RetryPolicy,
+    /// Seed for the backoff jitter; connection `i` draws from substream
+    /// `i`, so a run is reproducible modulo real scheduling.
+    pub seed: u64,
     /// How long to keep retrying the initial connect.
     pub connect_timeout: Duration,
 }
@@ -37,18 +96,21 @@ impl Default for LoadgenConfig {
             duration: Duration::from_secs(5),
             deadline_budget_ms: 400.0,
             payload_len: 256,
-            reject_backoff: Duration::from_millis(20),
+            retry: RetryPolicy::default(),
+            seed: 42,
             connect_timeout: Duration::from_secs(10),
         }
     }
 }
 
 /// Everything the run observed, aggregated across connections. Every sent
-/// request is accounted under exactly one field; [`LoadReport::lost`]
-/// going to zero is the protocol's no-silent-loss guarantee.
+/// attempt is accounted under exactly one field; [`LoadReport::lost`]
+/// going to zero is the protocol's no-silent-loss guarantee. Jobs
+/// reconcile separately: `jobs == jobs_succeeded + jobs_abandoned +
+/// jobs_aborted`.
 #[derive(Debug, Clone, Default)]
 pub struct LoadReport {
-    /// Requests sent.
+    /// Wire attempts sent.
     pub sent: u64,
     /// Served within their deadline.
     pub completed: u64,
@@ -66,10 +128,23 @@ pub struct LoadReport {
     pub dropped_shutdown: u64,
     /// Conversations ended by a terminal frame instead of a response.
     pub terminal: u64,
-    /// Requests whose connection failed before a resolution arrived.
+    /// Attempts whose response did not arrive within the request timeout.
+    pub timeouts: u64,
+    /// Attempts whose connection failed before a resolution arrived.
     pub io_errors: u64,
-    /// Connections that never established.
+    /// Connections (initial or re-established) that never came up.
     pub connect_failures: u64,
+    /// Jobs the clients tried to get served.
+    pub jobs: u64,
+    /// Jobs that ended in a completion (on-time or late).
+    pub jobs_succeeded: u64,
+    /// Jobs given up after exhausting the retry budget.
+    pub jobs_abandoned: u64,
+    /// Jobs cut short by a terminal frame, drain, shutdown or socket
+    /// error ending the connection.
+    pub jobs_aborted: u64,
+    /// Retry attempts (wire attempts beyond each job's first).
+    pub retries: u64,
     /// Wall-clock latency of served requests (both on-time and late), ms.
     pub wall_latency_ms: StreamingHistogram,
     /// Wall-clock duration of the whole run.
@@ -77,9 +152,9 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Requests that vanished without any resolution — no response, no
-    /// terminal frame, no socket error. Must be zero: anything else means
-    /// the server lost track of an admitted request.
+    /// Attempts that vanished without any resolution — no response, no
+    /// terminal frame, no timeout, no socket error. Must be zero: anything
+    /// else means the server lost track of an admitted request.
     pub fn lost(&self) -> u64 {
         self.sent
             - self.completed
@@ -90,6 +165,7 @@ impl LoadReport {
             - self.draining
             - self.dropped_shutdown
             - self.terminal
+            - self.timeouts
             - self.io_errors
     }
 
@@ -108,8 +184,14 @@ impl LoadReport {
         self.draining += other.draining;
         self.dropped_shutdown += other.dropped_shutdown;
         self.terminal += other.terminal;
+        self.timeouts += other.timeouts;
         self.io_errors += other.io_errors;
         self.connect_failures += other.connect_failures;
+        self.jobs += other.jobs;
+        self.jobs_succeeded += other.jobs_succeeded;
+        self.jobs_abandoned += other.jobs_abandoned;
+        self.jobs_aborted += other.jobs_aborted;
+        self.retries += other.retries;
         self.wall_latency_ms.merge(&other.wall_latency_ms);
     }
 
@@ -125,7 +207,9 @@ impl LoadReport {
                 "\"completed\": {completed}, \"completed_late\": {late}, ",
                 "\"rejected_queue_full\": {rqf}, \"rejected_certain_miss\": {rcm}, ",
                 "\"dropped_dead\": {dd}, \"draining\": {dr}, \"dropped_shutdown\": {ds}, ",
-                "\"terminal\": {term}, \"io_errors\": {ioe}, \"lost\": {lost}, ",
+                "\"terminal\": {term}, \"timeouts\": {to}, \"io_errors\": {ioe}, ",
+                "\"lost\": {lost}, \"jobs\": {jobs}, \"jobs_succeeded\": {jsu}, ",
+                "\"jobs_abandoned\": {jab}, \"jobs_aborted\": {jao}, \"retries\": {ret}, ",
                 "\"throughput_rps\": {rps:.1}, ",
                 "\"wall_p50_ms\": {p50:.3}, \"wall_p95_ms\": {p95:.3}, \"wall_p99_ms\": {p99:.3}, ",
                 "\"wall_mean_ms\": {mean:.3}, \"wall_max_ms\": {max:.3}}}"
@@ -143,8 +227,14 @@ impl LoadReport {
             dr = self.draining,
             ds = self.dropped_shutdown,
             term = self.terminal,
+            to = self.timeouts,
             ioe = self.io_errors,
             lost = self.lost(),
+            jobs = self.jobs,
+            jsu = self.jobs_succeeded,
+            jab = self.jobs_abandoned,
+            jao = self.jobs_aborted,
+            ret = self.retries,
             rps = self.served() as f64 / secs,
             p50 = p50,
             p95 = p95,
@@ -161,14 +251,15 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> LoadReport {
     let started = Instant::now();
     let next_id = Arc::new(AtomicU64::new(1));
     let mut handles = Vec::with_capacity(config.connections);
-    for _ in 0..config.connections {
+    for index in 0..config.connections {
         let config = config.clone();
         let next_id = Arc::clone(&next_id);
+        let seed = rng::substream(config.seed, index as u64);
         let handle = std::thread::Builder::new()
             .name("rt3-loadgen".into())
             // small stacks make thousands of client threads affordable
             .stack_size(128 * 1024)
-            .spawn(move || connection_loop(addr, &config, &next_id))
+            .spawn(move || connection_loop(addr, &config, &next_id, seed))
             .expect("spawn loadgen connection thread");
         handles.push(handle);
     }
@@ -182,59 +273,107 @@ pub fn run(addr: SocketAddr, config: &LoadgenConfig) -> LoadReport {
     total
 }
 
-fn connection_loop(addr: SocketAddr, config: &LoadgenConfig, next_id: &AtomicU64) -> LoadReport {
+/// Connects (with retry) and arms the per-request response deadline.
+fn establish(addr: SocketAddr, config: &LoadgenConfig) -> io::Result<ServeClient> {
+    let mut client = ServeClient::connect_retry(addr, config.connect_timeout)?;
+    client.set_timeouts(config.retry.request_timeout, config.retry.request_timeout)?;
+    Ok(client)
+}
+
+fn connection_loop(
+    addr: SocketAddr,
+    config: &LoadgenConfig,
+    next_id: &AtomicU64,
+    seed: u64,
+) -> LoadReport {
     let mut report = LoadReport::default();
-    let Ok(mut client) = ServeClient::connect_retry(addr, config.connect_timeout) else {
-        report.connect_failures += 1;
-        return report;
+    let mut rng_state = seed;
+    let mut client = match establish(addr, config) {
+        Ok(client) => Some(client),
+        Err(_) => {
+            report.connect_failures += 1;
+            return report;
+        }
     };
     let payload = vec![0u8; config.payload_len];
-    let deadline = Instant::now() + config.duration;
-    while Instant::now() < deadline {
-        let id = next_id.fetch_add(1, Ordering::Relaxed);
-        let sent_at = Instant::now();
-        report.sent += 1;
-        match client.infer(id, config.deadline_budget_ms, &payload) {
-            Ok(InferOutcome::Resolved(response)) => {
-                debug_assert_eq!(response.id, id, "responses arrive in closed-loop order");
-                match response.status {
-                    Status::Completed | Status::CompletedLate => {
-                        let wall_ms = sent_at.elapsed().as_secs_f64() * 1_000.0;
-                        report.wall_latency_ms.record(wall_ms);
-                        if response.status == Status::Completed {
-                            report.completed += 1;
-                        } else {
-                            report.completed_late += 1;
-                        }
-                    }
-                    Status::RejectedQueueFull => {
-                        report.rejected_queue_full += 1;
-                        std::thread::sleep(config.reject_backoff);
-                    }
-                    Status::RejectedCertainMiss => {
-                        report.rejected_certain_miss += 1;
-                        std::thread::sleep(config.reject_backoff);
-                    }
-                    Status::DroppedDead => report.dropped_dead += 1,
-                    Status::Draining => {
-                        // the server is draining: stop offering load
-                        report.draining += 1;
-                        break;
-                    }
-                    Status::DroppedShutdown => {
-                        report.dropped_shutdown += 1;
-                        break;
+    let issue_deadline = Instant::now() + config.duration;
+    'jobs: while Instant::now() < issue_deadline {
+        report.jobs += 1;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // a timed-out attempt dropped the connection; re-establish
+            if client.is_none() {
+                match establish(addr, config) {
+                    Ok(fresh) => client = Some(fresh),
+                    Err(_) => {
+                        report.connect_failures += 1;
+                        report.jobs_aborted += 1;
+                        break 'jobs;
                     }
                 }
             }
-            Ok(InferOutcome::Terminal(_code)) => {
-                report.terminal += 1;
-                break;
+            let conn = client.as_mut().expect("connection established above");
+            let id = next_id.fetch_add(1, Ordering::Relaxed);
+            let sent_at = Instant::now();
+            report.sent += 1;
+            match conn.infer(id, config.deadline_budget_ms, &payload) {
+                Ok(InferOutcome::Resolved(response)) => {
+                    debug_assert_eq!(response.id, id, "responses arrive in closed-loop order");
+                    match response.status {
+                        Status::Completed | Status::CompletedLate => {
+                            let wall_ms = sent_at.elapsed().as_secs_f64() * 1_000.0;
+                            report.wall_latency_ms.record(wall_ms);
+                            if response.status == Status::Completed {
+                                report.completed += 1;
+                            } else {
+                                report.completed_late += 1;
+                            }
+                            report.jobs_succeeded += 1;
+                            continue 'jobs;
+                        }
+                        // retryable: the request was turned away or lost
+                        // after admission, but the server is still up
+                        Status::RejectedQueueFull => report.rejected_queue_full += 1,
+                        Status::RejectedCertainMiss => report.rejected_certain_miss += 1,
+                        Status::DroppedDead => report.dropped_dead += 1,
+                        Status::Draining => {
+                            // the server is draining: stop offering load
+                            report.draining += 1;
+                            report.jobs_aborted += 1;
+                            break 'jobs;
+                        }
+                        Status::DroppedShutdown => {
+                            report.dropped_shutdown += 1;
+                            report.jobs_aborted += 1;
+                            break 'jobs;
+                        }
+                    }
+                }
+                Ok(InferOutcome::Terminal(_code)) => {
+                    report.terminal += 1;
+                    report.jobs_aborted += 1;
+                    break 'jobs;
+                }
+                Err(error) if error.is_timeout() => {
+                    // drop the socket: a response still in flight would
+                    // otherwise answer the *next* request on this stream
+                    report.timeouts += 1;
+                    client = None;
+                }
+                Err(_) => {
+                    report.io_errors += 1;
+                    report.jobs_aborted += 1;
+                    break 'jobs;
+                }
             }
-            Err(_) => {
-                report.io_errors += 1;
-                break;
+            // the attempt failed but is retryable
+            if attempt >= config.retry.max_attempts.max(1) {
+                report.jobs_abandoned += 1;
+                continue 'jobs;
             }
+            std::thread::sleep(config.retry.delay(attempt, &mut rng_state));
+            report.retries += 1;
         }
     }
     report

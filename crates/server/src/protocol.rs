@@ -40,6 +40,10 @@ pub const TERMINAL_SHUTDOWN: u8 = 2;
 /// Terminal code: this connection violated the protocol and is dropped
 /// (other connections are unaffected).
 pub const TERMINAL_PROTOCOL_ERROR: u8 = 3;
+/// Terminal code: this connection sat idle (or mid-frame) past the
+/// server's read timeout and is being reaped — how hung peers are kept
+/// from pinning connection threads forever.
+pub const TERMINAL_IDLE_TIMEOUT: u8 = 4;
 
 /// How a request resolved, carried in the infer-response frame. Every
 /// submitted request resolves to exactly one of these — backpressure is an
@@ -114,6 +118,20 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
             ProtocolError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
         }
+    }
+}
+
+impl ProtocolError {
+    /// Whether this is a socket timeout (the deadline set with
+    /// `set_read_timeout` / `set_write_timeout` expired). Platforms
+    /// disagree on the error kind — Unix reports `WouldBlock`, Windows
+    /// `TimedOut` — so both count.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::Io(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
     }
 }
 

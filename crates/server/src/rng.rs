@@ -1,0 +1,57 @@
+//! A tiny seeded generator (splitmix64) shared by the load generator's
+//! backoff jitter and the fault injector's plans. The server crate has no
+//! RNG dependency on purpose: reproducibility under `RT3_SEED` matters
+//! more than statistical quality here, and splitmix64 is plenty for both.
+
+/// Advances the state and returns the next 64 random bits.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)`.
+pub(crate) fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Derives an independent stream for substream `index` of `seed` — used to
+/// give every connection (or fault client) its own deterministic sequence.
+pub(crate) fn substream(seed: u64, index: u64) -> u64 {
+    let mut state = seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+    // burn one draw so adjacent indices decorrelate immediately
+    splitmix64(&mut state);
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_is_deterministic_and_nontrivial() {
+        let mut a = 42;
+        let mut b = 42;
+        let first = splitmix64(&mut a);
+        assert_eq!(first, splitmix64(&mut b));
+        assert_ne!(first, splitmix64(&mut a), "the stream advances");
+    }
+
+    #[test]
+    fn uniform_stays_in_the_half_open_interval() {
+        let mut state = 7;
+        for _ in 0..1_000 {
+            let x = uniform(&mut state);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn substreams_differ_by_index() {
+        let mut a = substream(9, 0);
+        let mut b = substream(9, 1);
+        assert_ne!(splitmix64(&mut a), splitmix64(&mut b));
+    }
+}

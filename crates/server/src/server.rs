@@ -23,7 +23,7 @@
 
 use crate::protocol::{
     read_frame, write_frame, ClientFrame, InferResponse, ProtocolError, ServerFrame, Status,
-    TERMINAL_BATTERY_DEAD, TERMINAL_PROTOCOL_ERROR, TERMINAL_SHUTDOWN,
+    TERMINAL_BATTERY_DEAD, TERMINAL_IDLE_TIMEOUT, TERMINAL_PROTOCOL_ERROR, TERMINAL_SHUTDOWN,
 };
 use rt3_hardware::{Battery, DvfsGovernor, PowerModel};
 use rt3_runtime::{
@@ -129,6 +129,16 @@ pub struct ServerConfig {
     pub background_w: f64,
     /// Largest accepted frame (bounds per-connection memory).
     pub max_frame_len: u32,
+    /// Per-connection read timeout (`SO_RCVTIMEO`, set once at accept). A
+    /// peer that connects and then hangs — idle or mid-frame — is reaped
+    /// with a [`TERMINAL_IDLE_TIMEOUT`] frame when it expires, instead of
+    /// pinning its connection thread forever. `None` waits indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout (`SO_SNDTIMEO`, set once at accept):
+    /// bounds how long a response write may block on a peer that stopped
+    /// reading. A timed-out write counts as a failed response. `None`
+    /// blocks indefinitely.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -139,6 +149,8 @@ impl Default for ServerConfig {
             tick_ms: 2,
             background_w: 0.1,
             max_frame_len: 1 << 20,
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
         }
     }
 }
@@ -157,6 +169,14 @@ impl ServerConfig {
         }
         if self.max_frame_len < 64 {
             return Err("max_frame_len must hold at least a header frame".into());
+        }
+        for timeout in [self.read_timeout, self.write_timeout]
+            .into_iter()
+            .flatten()
+        {
+            if timeout.is_zero() {
+                return Err("socket timeouts must be positive (use None to wait forever)".into());
+            }
         }
         Ok(())
     }
@@ -238,6 +258,7 @@ struct MetricIds {
     connections_opened: CounterId,
     connections_closed: CounterId,
     connections_refused_dead: CounterId,
+    connections_timed_out: CounterId,
     responses_failed: CounterId,
     switches: CounterId,
     latency_ms: HistogramId,
@@ -265,6 +286,7 @@ impl MetricIds {
             connections_opened: registry.counter("connections_opened"),
             connections_closed: registry.counter("connections_closed"),
             connections_refused_dead: registry.counter("connections_refused_dead"),
+            connections_timed_out: registry.counter("connections_timed_out"),
             responses_failed: registry.counter("responses_failed"),
             switches: registry.counter("switches"),
             latency_ms: registry.histogram("latency_ms"),
@@ -720,6 +742,15 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // socket deadlines are set once here and shared by the try_clone'd
+    // read half — SO_RCVTIMEO/SO_SNDTIMEO are per-socket, not per-handle
+    if stream.set_read_timeout(shared.config.read_timeout).is_err()
+        || stream
+            .set_write_timeout(shared.config.write_timeout)
+            .is_err()
+    {
+        return;
+    }
     let Ok(reader) = stream.try_clone() else {
         return;
     };
@@ -737,6 +768,18 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
         let frame = match read_frame(&mut reader, shared.config.max_frame_len) {
             Ok(Some(body)) => body,
             Ok(None) => break,
+            Err(error) if error.is_timeout() => {
+                // a hung peer: reap the connection with an explicit
+                // terminal status so the timeout is never a silent reset
+                {
+                    let mut core = shared.core.lock().expect("core lock");
+                    let id = core.ids.connections_timed_out;
+                    core.shard.add(id, 1);
+                }
+                writer.send(&ServerFrame::encode_terminal(TERMINAL_IDLE_TIMEOUT));
+                writer.shutdown();
+                break;
+            }
             Err(error) => {
                 protocol_error(shared, &writer, &error);
                 break;

@@ -1,0 +1,116 @@
+//! Loopback retry-storm reconciliation: a deliberately tiny server (one
+//! worker, a 2-slot queue, a battery that dies mid-run) under closed-loop
+//! clients that retry with backoff. The headline checks are the two
+//! conservation laws the chaos harness also enforces in simulation —
+//! every wire attempt resolves (zero silent loss) and every job ends
+//! exactly once (succeeded, abandoned or aborted) — plus server-side
+//! counters agreeing with the client-side tallies across the storm.
+
+use rt3_runtime::SchedulerConfig;
+use rt3_server::{loadgen, LoadgenConfig, RetryPolicy, Server, ServerConfig, ServerSpec};
+use std::time::{Duration, Instant};
+
+#[test]
+fn retry_storm_reconciles_with_zero_silent_loss() {
+    // a 2-slot queue on one worker forces queue-full/certain-miss rejects
+    // under 16 closed-loop connections; the battery dies mid-run
+    // (~0.08 J per 50 ms window against 1 J) so the storm also crosses
+    // the drain transition.
+    let spec = ServerSpec {
+        battery_capacity_j: 1.0,
+        ..ServerSpec::paper_default(1.0)
+    };
+    let config = ServerConfig {
+        window_ms: 50.0,
+        background_w: 1.6,
+        scheduler: SchedulerConfig {
+            queue_capacity: 2,
+            workers: 1,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn("127.0.0.1:0", spec, config).unwrap();
+    let report = loadgen::run(
+        server.local_addr(),
+        &LoadgenConfig {
+            connections: 16,
+            duration: Duration::from_millis(1_500),
+            deadline_budget_ms: 500.0,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_base: Duration::from_millis(5),
+                backoff_factor: 2.0,
+                jitter: Duration::from_millis(3),
+                request_timeout: Some(Duration::from_secs(10)),
+            },
+            seed: 7,
+            ..LoadgenConfig::default()
+        },
+    );
+
+    // the storm actually happened: rejects forced retries, and the
+    // battery death was observed as explicit drain statuses
+    assert_eq!(report.connect_failures, 0, "every connection established");
+    assert!(
+        report.rejected_queue_full + report.rejected_certain_miss > 0,
+        "the tiny queue rejected some of the storm"
+    );
+    assert!(report.retries > 0, "rejects were retried with backoff");
+    assert!(
+        report.draining + report.dropped_dead + report.terminal > 0,
+        "the battery death was observed by the clients"
+    );
+    assert!(server.is_draining(), "the server drained mid-run");
+
+    // conservation law 1: every wire attempt resolved explicitly
+    assert_eq!(report.lost(), 0, "zero silent loss across the storm");
+    // conservation law 2: every job ended exactly once
+    assert_eq!(
+        report.jobs,
+        report.jobs_succeeded + report.jobs_abandoned + report.jobs_aborted,
+        "jobs partition into succeeded + abandoned + aborted"
+    );
+    // attempts split into first tries and retries (no timeouts here, so
+    // no attempt was re-issued on a fresh connection)
+    assert_eq!(report.timeouts, 0, "a 10 s response budget never fires");
+    assert_eq!(
+        report.sent,
+        report.jobs + report.retries,
+        "attempts reconcile with jobs and retries"
+    );
+    assert_eq!(
+        report.jobs_succeeded,
+        report.served(),
+        "a job succeeds exactly when an attempt was served"
+    );
+
+    // server-side counters reconcile with the client-side tallies once
+    // the drain has flushed everything it admitted
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.pending_requests() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "drain left {} requests pending",
+            server.pending_requests()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let snapshot = server.metrics_snapshot();
+    let counter = |name: &str| snapshot.metrics.counter(name).unwrap_or(0);
+    assert_eq!(
+        counter("requests_completed"),
+        report.served(),
+        "completions match across the wire"
+    );
+    assert_eq!(
+        counter("requests_rejected_queue_full"),
+        report.rejected_queue_full,
+        "queue-full rejects match"
+    );
+    assert_eq!(
+        counter("requests_rejected_certain_miss"),
+        report.rejected_certain_miss,
+        "certain-miss rejects match"
+    );
+}

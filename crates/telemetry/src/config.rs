@@ -4,7 +4,7 @@
 use std::str::FromStr;
 
 /// How much the runtime records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum TelemetryLevel {
     /// Nothing is recorded; behaviour and overhead are identical to an
     /// uninstrumented build. The default.

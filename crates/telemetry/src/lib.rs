@@ -76,6 +76,30 @@ pub struct TelemetrySnapshot {
 }
 
 impl TelemetrySnapshot {
+    /// Merges another device's snapshot into this one to build a fleet-wide
+    /// aggregate: metrics merge by name ([`MetricsSnapshot::merge`] —
+    /// counters add, histograms bucket-merge, gauges last-wins), traces and
+    /// decision audits concatenate in merge order, overwrite counts add, and
+    /// residual statistics accumulate. The recorded level is the lower of
+    /// the two, so a merged snapshot never claims data a member never
+    /// collected.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        self.level = self.level.min(other.level);
+        self.metrics.merge(&other.metrics);
+        self.trace.extend(other.trace.iter().cloned());
+        self.trace_overwritten += other.trace_overwritten;
+        self.decisions.extend(other.decisions.iter().cloned());
+        self.decisions_overwritten += other.decisions_overwritten;
+        self.residuals.merge(&other.residuals);
+    }
+
+    /// Drops series measured against the real clock (see
+    /// [`MetricsSnapshot::scrub_wall_clock`]); the rest of a simulated
+    /// run's snapshot is seed-deterministic and replay-comparable.
+    pub fn scrub_wall_clock(&mut self) {
+        self.metrics.scrub_wall_clock();
+    }
+
     /// Serialises the whole snapshot as JSONL: one `{"type": "metric", ...}`
     /// line per metric, one `{"type": "trace", ...}` line per span event and
     /// one `{"type": "decision", ...}` line per audited decision, each
@@ -103,6 +127,49 @@ impl TelemetrySnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_merge_aggregates_every_section() {
+        fn device_snapshot(served: u64, latency: f64) -> TelemetrySnapshot {
+            let mut registry = MetricRegistry::new();
+            let c = registry.counter("served");
+            let h = registry.histogram("latency_ms");
+            let mut shard = registry.shard();
+            shard.add(c, served);
+            shard.record(h, latency);
+            let mut audit = DecisionAudit::new(4);
+            audit.record_residual(50.0, latency);
+            TelemetrySnapshot {
+                level: TelemetryLevel::Full,
+                metrics: registry.snapshot(&shard),
+                trace: vec![TraceEvent {
+                    t_ms: latency,
+                    request_id: served,
+                    kind: TraceEventKind::Admit {
+                        deadline_ms: latency + 400.0,
+                        queue_depth: 0,
+                        predicted_ms: latency,
+                    },
+                }],
+                trace_overwritten: 1,
+                decisions: Vec::new(),
+                decisions_overwritten: 0,
+                residuals: audit.residuals(),
+            }
+        }
+        let mut fleet = device_snapshot(3, 10.0);
+        let counters_only = TelemetrySnapshot {
+            level: TelemetryLevel::Counters,
+            ..device_snapshot(4, 30.0)
+        };
+        fleet.merge(&counters_only);
+        assert_eq!(fleet.level, TelemetryLevel::Counters, "lowest level wins");
+        assert_eq!(fleet.metrics.counter("served"), Some(7));
+        assert_eq!(fleet.metrics.histogram("latency_ms").unwrap().count(), 2);
+        assert_eq!(fleet.trace.len(), 2);
+        assert_eq!(fleet.trace_overwritten, 2);
+        assert_eq!(fleet.residuals.count, 2);
+    }
 
     #[test]
     fn snapshot_jsonl_emits_every_section_with_labels() {

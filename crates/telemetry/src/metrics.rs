@@ -204,6 +204,45 @@ impl MetricsSnapshot {
             .map(|(_, h)| h)
     }
 
+    /// Merges another snapshot into this one by metric *name*: counters add,
+    /// histograms merge bucket-wise, and a gauge present in `other`
+    /// overwrites (the merged-in snapshot is the more recent observer).
+    /// Names only `other` has are appended, so merging snapshots from
+    /// differently-registered shards (e.g. per-device `routed_to:<dev>`
+    /// counters) is total rather than a layout error. The operation is
+    /// associative and commutative for counters and histograms; gauge
+    /// last-wins makes it order-sensitive for gauges only.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += value,
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        for (name, value) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine = *value,
+                None => self.gauges.push((name.clone(), *value)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// Drops series measured against the real clock (the `*_wall_ms`
+    /// histograms). Everything else in a simulated run is a pure function
+    /// of the seed, so a snapshot scrubbed of wall-clock series compares
+    /// bit-exactly across replays — what the chaos harness's
+    /// replay-exactness checks rely on.
+    pub fn scrub_wall_clock(&mut self) {
+        self.histograms
+            .retain(|(name, _)| !name.ends_with("_wall_ms"));
+    }
+
     /// One `{"type":"metric",...}` JSONL line per metric, each carrying the
     /// caller's `labels`. Histogram lines summarise count/sum/min/max and
     /// the p50/p90/p95/p99 quantiles.
@@ -292,6 +331,37 @@ mod tests {
         newer.set(g, 0.5);
         total.merge(&newer);
         assert_eq!(total.gauge(g), Some(0.5), "set gauge overwrites");
+    }
+
+    #[test]
+    fn snapshot_merge_is_by_name_and_appends_strangers() {
+        let mut reg_a = MetricRegistry::new();
+        let ca = reg_a.counter("shared");
+        let ga = reg_a.gauge("soc");
+        let ha = reg_a.histogram("lat");
+        let mut shard_a = reg_a.shard();
+        shard_a.add(ca, 3);
+        shard_a.set(ga, 0.9);
+        shard_a.record(ha, 1.0);
+        let mut reg_b = MetricRegistry::new();
+        // Different registration order and an extra per-device counter.
+        let gb = reg_b.gauge("soc");
+        let cb_extra = reg_b.counter("routed_to:dev-1");
+        let cb = reg_b.counter("shared");
+        let hb = reg_b.histogram("lat");
+        let mut shard_b = reg_b.shard();
+        shard_b.add(cb, 4);
+        shard_b.add(cb_extra, 7);
+        shard_b.set(gb, 0.4);
+        shard_b.record(hb, 3.0);
+        let mut merged = reg_a.snapshot(&shard_a);
+        merged.merge(&reg_b.snapshot(&shard_b));
+        assert_eq!(merged.counter("shared"), Some(7));
+        assert_eq!(merged.counter("routed_to:dev-1"), Some(7));
+        assert_eq!(merged.gauge("soc"), Some(0.4), "gauge last-wins");
+        let h = merged.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4.0);
     }
 
     #[test]

@@ -86,13 +86,18 @@ fn main() {
         };
         let report = loadgen::run(addr, &config);
         println!(
-            "  {label}: sent {} served {} (late {}) rejected {}+{} lost {} \
+            "  {label}: jobs {} (retries {} abandoned {}) sent {} served {} \
+             (late {}) rejected {}+{} timeouts {} lost {} \
              p50 {:.1} ms p99 {:.1} ms",
+            report.jobs,
+            report.retries,
+            report.jobs_abandoned,
             report.sent,
             report.served(),
             report.completed_late,
             report.rejected_queue_full,
             report.rejected_certain_miss,
+            report.timeouts,
             report.lost(),
             report.wall_latency_ms.quantile(0.50),
             report.wall_latency_ms.quantile(0.99),

@@ -17,12 +17,17 @@
 //!   memoizing search driver;
 //! * [`core`] — the two-level RT3 framework, baselines and experiments;
 //! * [`runtime`] — the battery-aware online serving engine (model bank,
-//!   deadline scheduler, trace-driven scenarios) and the fleet layer
-//!   (battery-headroom routing across simulated devices);
+//!   deadline scheduler, trace-driven scenarios), the fleet layer
+//!   (battery-headroom routing across simulated devices) and the chaos
+//!   harness (closed-loop retrying clients, compositional fault
+//!   scenarios, global invariant checks);
 //! * [`server`] — the real-socket serving front-end (rt3-serve): a
 //!   length-prefixed binary protocol over `TcpListener`, admission mapped
-//!   to explicit reject codes, graceful drain on battery death, and a
-//!   closed-loop load generator measuring wall-clock latency;
+//!   to explicit reject codes, graceful drain on battery death, read and
+//!   write deadlines reaping hung peers, a closed-loop load generator
+//!   (bounded outstanding jobs, timeout-retry with backoff) measuring
+//!   wall-clock latency, and a seeded fault injector for the server
+//!   boundary;
 //! * [`telemetry`] — zero-dependency observability primitives: sharded
 //!   counters/gauges/streaming histograms, the request-lifecycle trace
 //!   ring, the controller decision audit and JSONL export (wired into the
@@ -42,7 +47,7 @@
 //!
 //! Runnable end-to-end examples live in `examples/` (`quickstart`,
 //! `battery_runtime`, `automl_search`, `search_comparison`,
-//! `ablation_study`, `serve_trace`, `serve_fleet`).
+//! `ablation_study`, `serve_trace`, `serve_fleet`, `serve_chaos`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
