@@ -585,6 +585,18 @@ impl<'m, M: Model> DeviceSim<'m, M> {
                 if let Some(t) = &mut self.telemetry {
                     t.shard.add(t.ids.switches, 1);
                     t.shard.record(t.ids.switch_time_ms, cost.time_ms);
+                    // device-level span: the window [now, now+cost] blocks
+                    // every queued request, and the span analyzer charges
+                    // the overlap to them
+                    t.trace_event(TraceEvent {
+                        t_ms: now_ms,
+                        request_id: 0,
+                        kind: TraceEventKind::Switch {
+                            from_level: self.active_level.unwrap_or(level_pos),
+                            to_level: level_pos,
+                            duration_ms: cost.time_ms,
+                        },
+                    });
                 }
             }
             self.active_level = Some(level_pos);
@@ -629,17 +641,17 @@ impl<'m, M: Model> DeviceSim<'m, M> {
     /// Returns the scheduler's [`RejectReason`] when the request is turned
     /// away (bounded queue full, or the deadline is already unmeetable).
     pub(crate) fn try_admit(&mut self, request: Request) -> Result<(), RejectReason> {
-        // the admission-time prediction is what the residuals compare the
-        // actual completion latency against; only the trace/audit (Full)
-        // consume it, so Counters skips the estimate entirely
-        let predicted_ms = match &self.telemetry {
-            Some(t) if t.full() => self.predicted_latency_ms(request.arrival_ms),
-            _ => 0.0,
-        };
+        let arrival_ms = request.arrival_ms;
         let result = self.scheduler.submit(request, self.service_estimator());
         if let Some(t) = &mut self.telemetry {
             match result {
-                Ok(()) => {
+                Ok(predicted_finish_ms) => {
+                    // the admission-time prediction is what the residuals
+                    // compare the actual completion latency against — the
+                    // certain-miss check already replayed the backlog, so
+                    // the audit reuses its answer instead of simulating the
+                    // queue a second time
+                    let predicted_ms = predicted_finish_ms - arrival_ms;
                     t.shard.add(t.ids.admitted, 1);
                     t.shard
                         .set(t.ids.queue_depth, self.scheduler.queue_len() as f64);
@@ -668,7 +680,7 @@ impl<'m, M: Model> DeviceSim<'m, M> {
                 }
             }
         }
-        result
+        result.map(|_| ())
     }
 
     /// Finishes a window on a dead device: queued and incoming requests are
@@ -697,6 +709,9 @@ impl<'m, M: Model> DeviceSim<'m, M> {
                     },
                 });
             }
+            // dead windows still scrape: the cliff alert's view of the
+            // battery gauges must continue through death
+            t.observe_window(t_s, (t_s + 1) as f64 * WINDOW_MS);
         }
         self.windows.push(WindowReport {
             t_s,
@@ -857,6 +872,9 @@ impl<'m, M: Model> DeviceSim<'m, M> {
                 stats.evictions - self.bank_stats_seen.evictions,
             );
             self.bank_stats_seen = stats;
+            // window boundary: scrape the shard into the live series and
+            // evaluate the alert rules (Full only; deterministic under seed)
+            t.observe_window(t_s, window_end_ms);
         }
 
         self.windows.push(WindowReport {

@@ -185,6 +185,10 @@ impl DeadlineScheduler {
     /// deadline were admitted and later counted as misses instead of being
     /// rejected up front.
     ///
+    /// On admission, returns the predicted completion time the certain-miss
+    /// check was made against, so callers (the Full-level decision audit)
+    /// can reuse it instead of replaying the backlog a second time.
+    ///
     /// # Errors
     ///
     /// Returns the [`RejectReason`] when the request is turned away.
@@ -192,17 +196,18 @@ impl DeadlineScheduler {
         &mut self,
         request: Request,
         service_ms: F,
-    ) -> Result<(), RejectReason> {
+    ) -> Result<f64, RejectReason> {
         if self.queue.len() >= self.config.queue_capacity {
             self.rejected_queue_full += 1;
             return Err(RejectReason::QueueFull);
         }
-        if self.predicted_finish_ms(request.arrival_ms, &service_ms) > request.deadline_ms {
+        let predicted_finish_ms = self.predicted_finish_ms(request.arrival_ms, &service_ms);
+        if predicted_finish_ms > request.deadline_ms {
             self.rejected_certain_miss += 1;
             return Err(RejectReason::CertainMiss);
         }
         self.queue.push_back(request);
-        Ok(())
+        Ok(predicted_finish_ms)
     }
 
     /// Predicted completion time of a request arriving at `arrival_ms`,

@@ -13,10 +13,36 @@
 
 use rt3_telemetry::{
     Clock, CounterId, DecisionAudit, DecisionRecord, GaugeId, HistogramId, MetricRegistry,
-    MetricShard, TelemetryConfig, TelemetryLevel, TelemetrySnapshot, TraceEvent, TraceRecorder,
+    MetricShard, ObsPlane, TelemetryConfig, TelemetryLevel, TelemetrySnapshot, TraceEvent,
+    TraceRecorder,
 };
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Pass-through hasher for request-id keys: ids are dense sequential
+/// integers, so they distribute over the table without mixing, and the
+/// per-request SipHash cost (twice per request at `Full`: note + settle)
+/// is measurable against the telemetry overhead budget.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // only u64 keys are expected, but stay correct for any input
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, id: u64) {
+        self.0 = id;
+    }
+}
 
 /// The fixed metric schema of one serving device. Names are part of the
 /// JSONL contract documented in DESIGN.md §9.
@@ -100,7 +126,10 @@ pub(crate) struct DeviceTelemetry {
     /// Cost-model latency prediction made at admission, keyed by request id;
     /// entries are removed on completion or drop, so the map is bounded by
     /// the scheduler's queue dynamics. `Full` level only.
-    pending_predictions: HashMap<u64, f64>,
+    pending_predictions: HashMap<u64, f64, BuildHasherDefault<IdHasher>>,
+    /// Live series + alerting, scraped once per governor window. `Full`
+    /// level only.
+    obs: Option<ObsPlane>,
 }
 
 impl DeviceTelemetry {
@@ -116,13 +145,17 @@ impl DeviceTelemetry {
         let mut registry = MetricRegistry::new();
         let ids = DeviceMetricIds::register(&mut registry);
         let shard = registry.shard();
-        let (trace, audit) = if config.level.full_enabled() {
+        let (trace, audit, obs) = if config.level.full_enabled() {
             (
                 Some(TraceRecorder::new(config.trace_capacity)),
                 Some(DecisionAudit::new(config.audit_capacity)),
+                Some(ObsPlane::standard(
+                    crate::engine::WINDOW_MS,
+                    config.series_capacity,
+                )),
             )
         } else {
-            (None, None)
+            (None, None, None)
         };
         Some(Self {
             level: config.level,
@@ -132,7 +165,8 @@ impl DeviceTelemetry {
             clock,
             trace,
             audit,
-            pending_predictions: HashMap::new(),
+            pending_predictions: HashMap::default(),
+            obs,
         })
     }
 
@@ -192,6 +226,17 @@ impl DeviceTelemetry {
         )
     }
 
+    /// Scrapes the device's metric shard into the observability plane as
+    /// window `t_s` ending at `end_ms` (no-op below `Full`). Called once
+    /// per governor window by the engine, which makes series and alert
+    /// evaluation deterministic under a seed.
+    pub(crate) fn observe_window(&mut self, t_s: u32, end_ms: f64) {
+        if let Some(obs) = &mut self.obs {
+            let snapshot = self.registry.snapshot(&self.shard);
+            obs.observe_window(t_s, end_ms, snapshot);
+        }
+    }
+
     /// Detaches everything recorded so far into a snapshot for the report.
     pub(crate) fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -210,6 +255,7 @@ impl DeviceTelemetry {
                 .as_ref()
                 .map(|a| a.residuals())
                 .unwrap_or_default(),
+            obs: self.obs.as_ref().map(|o| o.snapshot()),
         }
     }
 }
@@ -274,6 +320,7 @@ impl FleetTelemetry {
             decisions: Vec::new(),
             decisions_overwritten: 0,
             residuals: Default::default(),
+            obs: None,
         }
     }
 }
@@ -363,6 +410,7 @@ impl ChaosTelemetry {
             decisions: Vec::new(),
             decisions_overwritten: 0,
             residuals: Default::default(),
+            obs: None,
         }
     }
 }

@@ -165,6 +165,77 @@ fn full_telemetry_jsonl_reconstructs_switches_and_misses() {
 }
 
 #[test]
+fn span_forest_attributes_every_miss_and_reconciles_with_histograms() {
+    let (report, scenario) = run_cliff_fleet();
+    assert!(
+        report.missed_deadline() > 0,
+        "the scenario must produce misses for the attribution to bite"
+    );
+
+    let mut merged = rt3_telemetry::SpanForest::default();
+    for (device, profile) in report.devices.iter().zip(&scenario.devices) {
+        let snapshot = device.telemetry.as_ref().expect("Full snapshot");
+        let forest = snapshot.spans();
+
+        // one request span per served request, reconciling with the
+        // recorded per-request histograms down to summation order
+        assert_eq!(forest.requests.len() as u64, device.completed);
+        let queue_hist = snapshot
+            .metrics
+            .histogram("queue_wait_ms")
+            .expect("queue_wait_ms histogram");
+        let infer_hist = snapshot
+            .metrics
+            .histogram("infer_ms")
+            .expect("infer_ms histogram");
+        let span_queue: f64 = forest.requests.iter().map(|r| r.queue_ms()).sum();
+        let span_infer: f64 = forest.requests.iter().map(|r| r.infer_ms()).sum();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * a.abs().max(1.0);
+        assert!(
+            close(span_queue, queue_hist.sum()),
+            "span queue total {span_queue} vs histogram {} on {}",
+            queue_hist.sum(),
+            profile.name
+        );
+        assert!(
+            close(span_infer, infer_hist.sum()),
+            "span infer total {span_infer} vs histogram {} on {}",
+            infer_hist.sum(),
+            profile.name
+        );
+
+        // every switch the engine counted appears as a switch span
+        assert_eq!(forest.switches.len() as u64, device.switches);
+
+        // 100% of this device's misses attribute to exactly one segment
+        let attribution = forest.miss_attribution();
+        assert_eq!(
+            attribution.total(),
+            device.missed_deadline,
+            "every miss on {} is attributed to a dominant segment",
+            profile.name
+        );
+        merged.merge(&forest);
+    }
+
+    // fleet-level merge preserves the attribution totals exactly
+    let fleet_attribution = merged.miss_attribution();
+    assert_eq!(fleet_attribution.total(), report.missed_deadline());
+    assert_eq!(
+        merged.requests.len() as u64,
+        report.completed(),
+        "merged forest holds every served request across devices"
+    );
+
+    // arrivals are sorted after the merge, so downstream consumers can
+    // stream the fleet-wide timeline without re-sorting
+    assert!(merged
+        .requests
+        .windows(2)
+        .all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+}
+
+#[test]
 fn device_counters_reconcile_with_the_report() {
     let (report, _) = run_cliff_fleet();
     for device in &report.devices {

@@ -94,8 +94,8 @@ impl ServeClient {
         match self.read_server_frame()? {
             ServerFrame::Infer(response) => Ok(InferOutcome::Resolved(response)),
             ServerFrame::Terminal(code) => Ok(InferOutcome::Terminal(code)),
-            ServerFrame::Metrics(_) => Err(ProtocolError::Malformed(
-                "metrics response to an infer request",
+            ServerFrame::Metrics(_) | ServerFrame::Obs(_) => Err(ProtocolError::Malformed(
+                "non-infer response to an infer request",
             )),
         }
     }
@@ -110,9 +110,41 @@ impl ServeClient {
         write_frame(&mut self.stream, &ClientFrame::encode_metrics())?;
         match self.read_server_frame()? {
             ServerFrame::Metrics(jsonl) => Ok(jsonl),
-            ServerFrame::Infer(_) | ServerFrame::Terminal(_) => Err(ProtocolError::Malformed(
-                "unexpected response to a metrics request",
-            )),
+            ServerFrame::Infer(_) | ServerFrame::Terminal(_) | ServerFrame::Obs(_) => Err(
+                ProtocolError::Malformed("unexpected response to a metrics request"),
+            ),
+        }
+    }
+
+    /// Turns this connection into a streaming subscriber: sends
+    /// `REQ_SUBSCRIBE` and blocks for the catch-up chunk (the server's full
+    /// retained obs snapshot as JSONL). Subsequent chunks — one per governor
+    /// window — arrive via [`ServeClient::next_obs`]. A subscribed
+    /// connection is a dedicated push channel; do not interleave infer or
+    /// metrics calls on it.
+    ///
+    /// # Errors
+    ///
+    /// Protocol or socket errors; a terminal frame is reported as a
+    /// malformed conversation.
+    pub fn subscribe(&mut self) -> Result<String, ProtocolError> {
+        write_frame(&mut self.stream, &ClientFrame::encode_subscribe())?;
+        self.next_obs()
+    }
+
+    /// Blocks for the next pushed obs chunk on a subscribed connection.
+    /// Honors the read timeout set via [`ServeClient::set_timeouts`].
+    ///
+    /// # Errors
+    ///
+    /// Protocol or socket errors; a terminal or non-obs frame is reported
+    /// as a malformed conversation.
+    pub fn next_obs(&mut self) -> Result<String, ProtocolError> {
+        match self.read_server_frame()? {
+            ServerFrame::Obs(chunk) => Ok(chunk),
+            ServerFrame::Infer(_) | ServerFrame::Terminal(_) | ServerFrame::Metrics(_) => Err(
+                ProtocolError::Malformed("unexpected frame on a subscribed connection"),
+            ),
         }
     }
 

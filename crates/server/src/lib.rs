@@ -59,6 +59,6 @@ mod server;
 
 pub use client::{InferOutcome, ServeClient};
 pub use fault::{Fault, FaultPlan, FaultReport};
-pub use loadgen::{LoadReport, LoadgenConfig, RetryPolicy};
+pub use loadgen::{check_load_invariants, LoadReport, LoadgenConfig, RetryPolicy};
 pub use protocol::{InferResponse, ProtocolError, Status};
 pub use server::{Server, ServerConfig, ServerSpec};

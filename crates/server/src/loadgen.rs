@@ -16,7 +16,7 @@
 use crate::client::{InferOutcome, ServeClient};
 use crate::protocol::Status;
 use crate::rng;
-use rt3_telemetry::StreamingHistogram;
+use rt3_telemetry::{StreamingHistogram, TelemetrySnapshot};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -242,6 +242,116 @@ impl LoadReport {
             mean = if h.count() > 0 { h.mean() } else { 0.0 },
             max = if h.count() > 0 { h.max() } else { 0.0 },
         )
+    }
+}
+
+/// Reconciles a client-side [`LoadReport`] against the server's own
+/// telemetry snapshot, collecting every violated invariant instead of
+/// stopping at the first (the same style as the chaos harness).
+///
+/// Client-only invariants hold unconditionally: no attempt is silently
+/// lost and every job ends in exactly one of succeeded / abandoned /
+/// aborted. The attempt ledger (`sent == jobs + retries`) additionally
+/// requires `connect_failures == 0`, because a job whose re-connect fails
+/// is aborted without a wire attempt.
+///
+/// Cross-layer equalities against the server counters are only exact when
+/// the client observed every resolution (`timeouts == 0 && io_errors ==
+/// 0`) and the snapshot was taken after the run quiesced; otherwise the
+/// server may have served responses nobody read and the harness falls
+/// back to the one-sided bound `requests_completed >= served()`.
+///
+/// # Errors
+///
+/// The list of violated invariants, one human-readable line each.
+pub fn check_load_invariants(
+    report: &LoadReport,
+    server: &TelemetrySnapshot,
+) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    let mut check = |ok: bool, msg: String| {
+        if !ok {
+            violations.push(msg);
+        }
+    };
+    let counter = |name: &str| server.metrics.counter(name).unwrap_or(0);
+
+    check(
+        report.lost() == 0,
+        format!("{} attempts resolved under no field", report.lost()),
+    );
+    let job_ends = report.jobs_succeeded + report.jobs_abandoned + report.jobs_aborted;
+    check(
+        report.jobs == job_ends,
+        format!(
+            "jobs {} != succeeded {} + abandoned {} + aborted {}",
+            report.jobs, report.jobs_succeeded, report.jobs_abandoned, report.jobs_aborted
+        ),
+    );
+    if report.connect_failures == 0 {
+        check(
+            report.sent == report.jobs + report.retries,
+            format!(
+                "sent {} != jobs {} + retries {}",
+                report.sent, report.jobs, report.retries
+            ),
+        );
+    }
+
+    let served = report.served();
+    let completed = counter("requests_completed");
+    if report.timeouts == 0 && report.io_errors == 0 {
+        check(
+            completed == served,
+            format!("server requests_completed {completed} != client served {served}"),
+        );
+        let missed = counter("deadline_missed");
+        check(
+            missed == report.completed_late,
+            format!(
+                "server deadline_missed {missed} != client completed_late {}",
+                report.completed_late
+            ),
+        );
+        for (name, client_side) in [
+            ("requests_rejected_queue_full", report.rejected_queue_full),
+            (
+                "requests_rejected_certain_miss",
+                report.rejected_certain_miss,
+            ),
+            ("requests_dropped_dead", report.dropped_dead),
+            ("requests_draining_refused", report.draining),
+            ("requests_dropped_shutdown", report.dropped_shutdown),
+        ] {
+            let server_side = counter(name);
+            check(
+                server_side == client_side,
+                format!("server {name} {server_side} != client {client_side}"),
+            );
+        }
+        let admitted = counter("requests_admitted");
+        let resolved = served + report.dropped_dead + report.dropped_shutdown;
+        check(
+            admitted == resolved,
+            format!(
+                "server requests_admitted {admitted} != served {served} + dropped_dead {} \
+                 + dropped_shutdown {}",
+                report.dropped_dead, report.dropped_shutdown
+            ),
+        );
+    } else {
+        // lossy observation: the server can only have served at least as
+        // much as the client managed to read
+        check(
+            completed >= served,
+            format!("server requests_completed {completed} < client served {served}"),
+        );
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
     }
 }
 

@@ -10,6 +10,7 @@
 //! |--------|--------------------------------------------------------------|
 //! | `0x01` | infer: `id: u64`, `deadline_budget_ms: f64`, `payload_len: u32`, payload bytes |
 //! | `0x02` | metrics: empty                                               |
+//! | `0x03` | subscribe: empty — turns the connection into a push channel  |
 //!
 //! Server → client:
 //!
@@ -17,6 +18,7 @@
 //! |--------|--------------------------------------------------------------|
 //! | `0x81` | infer response: `id: u64`, `status: u8`, `level_pos: u32`, `queue_ms: f64`, `infer_ms: f64` |
 //! | `0x82` | metrics response: JSONL bytes (the `TelemetrySnapshot` export) |
+//! | `0x83` | obs chunk: JSONL bytes — one window's series/alert delta, pushed per window to subscribers |
 //! | `0x8F` | terminal: `code: u8` — the connection is being closed by the server |
 
 use std::io::{self, Read, Write};
@@ -25,10 +27,15 @@ use std::io::{self, Read, Write};
 pub const OP_INFER: u8 = 0x01;
 /// Client→server metrics-snapshot request.
 pub const OP_METRICS: u8 = 0x02;
+/// Client→server subscription request: the connection becomes a dedicated
+/// streaming channel receiving one obs chunk per server window.
+pub const OP_SUBSCRIBE: u8 = 0x03;
 /// Server→client inference response.
 pub const OP_INFER_RESP: u8 = 0x81;
 /// Server→client metrics response.
 pub const OP_METRICS_RESP: u8 = 0x82;
+/// Server→client observability chunk pushed to subscribers.
+pub const OP_OBS: u8 = 0x83;
 /// Server→client terminal frame: the server is closing this connection.
 pub const OP_TERMINAL: u8 = 0x8F;
 
@@ -207,6 +214,11 @@ pub enum ClientFrame {
     },
     /// Request for a live telemetry snapshot (the `/metrics` analogue).
     Metrics,
+    /// Turn this connection into a push channel: the server answers with a
+    /// catch-up obs chunk (the full retained series/alert history) and then
+    /// pushes one chunk per window. A subscribed connection sends nothing
+    /// further; it just reads.
+    Subscribe,
 }
 
 impl ClientFrame {
@@ -249,6 +261,12 @@ impl ClientFrame {
                 }
                 Ok(ClientFrame::Metrics)
             }
+            OP_SUBSCRIBE => {
+                if !rest.is_empty() {
+                    return Err(ProtocolError::Malformed("subscribe request carries a body"));
+                }
+                Ok(ClientFrame::Subscribe)
+            }
             other => Err(ProtocolError::UnknownOpcode(other)),
         }
     }
@@ -267,6 +285,11 @@ impl ClientFrame {
     /// Encodes a metrics-request body (without the length prefix).
     pub fn encode_metrics() -> Vec<u8> {
         vec![OP_METRICS]
+    }
+
+    /// Encodes a subscribe-request body (without the length prefix).
+    pub fn encode_subscribe() -> Vec<u8> {
+        vec![OP_SUBSCRIBE]
     }
 }
 
@@ -307,6 +330,10 @@ pub enum ServerFrame {
     Infer(InferResponse),
     /// The JSONL telemetry snapshot.
     Metrics(String),
+    /// One pushed observability chunk: JSONL series points and alert
+    /// transitions for a window (or the catch-up history right after
+    /// subscribing).
+    Obs(String),
     /// The server is closing this connection; the code is one of the
     /// `TERMINAL_*` constants.
     Terminal(u8),
@@ -347,6 +374,11 @@ impl ServerFrame {
                     .map_err(|_| ProtocolError::Malformed("metrics response is not UTF-8"))?;
                 Ok(ServerFrame::Metrics(text))
             }
+            OP_OBS => {
+                let text = String::from_utf8(rest.to_vec())
+                    .map_err(|_| ProtocolError::Malformed("obs chunk is not UTF-8"))?;
+                Ok(ServerFrame::Obs(text))
+            }
             OP_TERMINAL => {
                 if rest.len() != 1 {
                     return Err(ProtocolError::Malformed("terminal frame length"));
@@ -361,6 +393,14 @@ impl ServerFrame {
     pub fn encode_metrics(jsonl: &str) -> Vec<u8> {
         let mut body = Vec::with_capacity(1 + jsonl.len());
         body.push(OP_METRICS_RESP);
+        body.extend_from_slice(jsonl.as_bytes());
+        body
+    }
+
+    /// Encodes an obs-chunk body (without the length prefix).
+    pub fn encode_obs(jsonl: &str) -> Vec<u8> {
+        let mut body = Vec::with_capacity(1 + jsonl.len());
+        body.push(OP_OBS);
         body.extend_from_slice(jsonl.as_bytes());
         body
     }
@@ -404,10 +444,23 @@ mod tests {
     }
 
     #[test]
+    fn subscribe_and_obs_round_trip() {
+        let body = ClientFrame::encode_subscribe();
+        assert_eq!(ClientFrame::decode(&body).unwrap(), ClientFrame::Subscribe);
+        let chunk = "{\"type\":\"series\",\"name\":\"miss_rate\",\"t_s\":3,\"value\":0.5}\n";
+        assert_eq!(
+            ServerFrame::decode(&ServerFrame::encode_obs(chunk)).unwrap(),
+            ServerFrame::Obs(chunk.to_string())
+        );
+    }
+
+    #[test]
     fn malformed_bodies_are_rejected_not_panicked() {
         assert!(ClientFrame::decode(&[]).is_err());
         assert!(ClientFrame::decode(&[OP_INFER, 1, 2]).is_err());
         assert!(ClientFrame::decode(&[0x77]).is_err());
+        assert!(ClientFrame::decode(&[OP_SUBSCRIBE, 1]).is_err());
+        assert!(ServerFrame::decode(&[OP_OBS, 0xFF, 0xFE]).is_err());
         // payload length disagreeing with the frame length
         let mut body = ClientFrame::encode_infer(1, 100.0, &[0; 4]);
         body.truncate(body.len() - 1);

@@ -31,8 +31,8 @@ use rt3_runtime::{
     RejectReason, Request, RuntimeController, SchedulerConfig, Telemetry,
 };
 use rt3_telemetry::{
-    CounterId, GaugeId, HistogramId, MetricRegistry, MetricShard, ResidualStats, TelemetryLevel,
-    TelemetrySnapshot,
+    CounterId, GaugeId, HistogramId, MetricRegistry, MetricShard, ObsPlane, ResidualStats,
+    TelemetryLevel, TelemetrySnapshot,
 };
 use std::cmp::Reverse;
 use std::collections::HashMap;
@@ -316,6 +316,16 @@ struct Core {
     shard: MetricShard,
     ids: MetricIds,
     connections: Vec<Weak<ConnWriter>>,
+    /// Live series + alert rules, scraped once per governor window by the
+    /// dispatch tick (or by whichever admission catches the boundary
+    /// first).
+    obs: ObsPlane,
+    /// Index of the next scrape window (the `t_s` axis of the series).
+    window_index: u32,
+    /// Connections that sent `REQ_SUBSCRIBE`; each gets one obs chunk per
+    /// window. A subscriber whose send fails is dropped from the list —
+    /// the slow-consumer backpressure rule (DESIGN.md §12).
+    subscribers: Vec<Weak<ConnWriter>>,
 }
 
 struct Shared {
@@ -343,49 +353,81 @@ impl Shared {
     }
 
     /// Runs governor windows up to `now_ms`: level decisions, switch costs,
-    /// background drain and battery-death detection.
+    /// background drain, battery-death detection — then scrapes each
+    /// boundary into the obs plane and pushes the window's series/alert
+    /// chunk to every subscriber.
     fn advance_windows(&self, core: &mut Core, now_ms: f64) {
         while core.next_window_ms <= now_ms {
             let boundary = core.next_window_ms;
             core.next_window_ms += self.config.window_ms;
-            if self.dead.load(Ordering::Acquire) {
-                continue;
+            if !self.dead.load(Ordering::Acquire) {
+                self.window_step(core, boundary);
             }
-            let window_s = self.config.window_ms / 1_000.0;
-            let background_j = self.config.background_w * window_s;
-            if !core.battery.drain(background_j) {
+            // dead windows still scrape: subscribers keep seeing the
+            // post-mortem gauges instead of a silently frozen stream
+            self.scrape_window(core, boundary);
+        }
+    }
+
+    /// The governor work of one live window boundary.
+    fn window_step(&self, core: &mut Core, boundary: f64) {
+        let window_s = self.config.window_ms / 1_000.0;
+        let background_j = self.config.background_w * window_s;
+        if !core.battery.drain(background_j) {
+            let remaining = core.battery.remaining_j();
+            core.battery.drain(remaining);
+        }
+        if core.battery.is_empty() {
+            self.enter_drain(core);
+            return;
+        }
+        let decision = core.controller.decide(Telemetry {
+            now_ms: boundary,
+            state_of_charge: core.battery.state_of_charge(),
+            thermal_cap: None,
+        });
+        if decision.level_pos != core.active_level {
+            core.active_level = decision.level_pos;
+            core.active_base_ms = self.spec.level_base_ms[decision.level_pos];
+            let switch_ms = self.spec.switch_time_ms;
+            core.scheduler.block_workers_until(boundary + switch_ms);
+            let level = self.spec.governor.levels()[decision.level_pos];
+            let energy = self.spec.power.power_w(&level) * switch_ms / 1_000.0;
+            if !core.battery.drain(energy) {
                 let remaining = core.battery.remaining_j();
                 core.battery.drain(remaining);
             }
-            if core.battery.is_empty() {
-                self.enter_drain(core);
-                continue;
-            }
-            let decision = core.controller.decide(Telemetry {
-                now_ms: boundary,
-                state_of_charge: core.battery.state_of_charge(),
-                thermal_cap: None,
-            });
-            if decision.level_pos != core.active_level {
-                core.active_level = decision.level_pos;
-                core.active_base_ms = self.spec.level_base_ms[decision.level_pos];
-                let switch_ms = self.spec.switch_time_ms;
-                core.scheduler.block_workers_until(boundary + switch_ms);
-                let level = self.spec.governor.levels()[decision.level_pos];
-                let energy = self.spec.power.power_w(&level) * switch_ms / 1_000.0;
-                if !core.battery.drain(energy) {
-                    let remaining = core.battery.remaining_j();
-                    core.battery.drain(remaining);
-                }
-                let ids = &core.ids;
-                core.shard.add(ids.switches, 1);
-                core.shard.record(ids.switch_time_ms, switch_ms);
-            }
             let ids = &core.ids;
-            core.shard.set(ids.active_level, core.active_level as f64);
-            core.shard
-                .set(ids.state_of_charge, core.battery.state_of_charge());
+            core.shard.add(ids.switches, 1);
+            core.shard.record(ids.switch_time_ms, switch_ms);
         }
+        let ids = &core.ids;
+        core.shard.set(ids.active_level, core.active_level as f64);
+        core.shard
+            .set(ids.state_of_charge, core.battery.state_of_charge());
+    }
+
+    /// Scrapes one window boundary into the obs plane, evaluates the alert
+    /// rules, and pushes the window's JSONL delta to every subscriber.
+    /// A subscriber whose socket is gone — or whose send fails or times
+    /// out (the per-connection write timeout bounds how long a slow
+    /// consumer can hold the lock) — is dropped from the push list.
+    fn scrape_window(&self, core: &mut Core, boundary: f64) {
+        let t_s = core.window_index;
+        core.window_index += 1;
+        let snapshot = core.registry.snapshot(&core.shard);
+        let transitions = core.obs.observe_window(t_s, boundary, snapshot);
+        if core.subscribers.is_empty() {
+            return;
+        }
+        let chunk = core
+            .obs
+            .window_jsonl(t_s, &transitions, &[("source", "rt3-serve")]);
+        let body = ServerFrame::encode_obs(&chunk);
+        core.subscribers.retain(|weak| match weak.upgrade() {
+            Some(conn) => conn.send(&body),
+            None => false,
+        });
     }
 
     /// Battery death: drop queued requests with an explicit code, flush
@@ -532,6 +574,7 @@ impl Shared {
             decisions: Vec::new(),
             decisions_overwritten: 0,
             residuals: ResidualStats::default(),
+            obs: Some(core.obs.snapshot()),
         }
     }
 }
@@ -590,6 +633,9 @@ impl Server {
             shard,
             ids,
             connections: Vec::new(),
+            obs: ObsPlane::standard(config.window_ms, 1_024),
+            window_index: 0,
+            subscribers: Vec::new(),
         };
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
@@ -797,6 +843,33 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     break;
                 }
             }
+            Ok(ClientFrame::Subscribe) => {
+                // a subscriber becomes a dedicated push channel: it sends
+                // nothing further, so the idle-reaper read timeout must not
+                // apply (SO_RCVTIMEO is per-socket and shared with our
+                // cloned read half)
+                {
+                    let stream = writer.stream.lock().expect("writer lock");
+                    let _ = stream.set_read_timeout(None);
+                }
+                // register + catch-up atomically under the core lock, so no
+                // window chunk can be pushed before the catch-up (same
+                // core-then-stream lock order as the window push itself)
+                let sent = {
+                    let mut core = shared.core.lock().expect("core lock");
+                    core.subscribers.push(Arc::downgrade(&writer));
+                    let mut catch_up = core
+                        .obs
+                        .snapshot()
+                        .to_jsonl_lines(&[("source", "rt3-serve")])
+                        .join("\n");
+                    catch_up.push('\n');
+                    writer.send(&ServerFrame::encode_obs(&catch_up))
+                };
+                if !sent {
+                    break;
+                }
+            }
             Err(error) => {
                 protocol_error(shared, &writer, &error);
                 break;
@@ -854,7 +927,7 @@ fn handle_infer(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, client_id: u64, 
     let service = shared.service_closure(core);
     let result = core.scheduler.submit(request, service);
     match result {
-        Ok(()) => {
+        Ok(_) => {
             core.pending.insert(
                 internal_id,
                 PendingEntry {

@@ -6,7 +6,8 @@
 
 use rt3_server::protocol::TERMINAL_BATTERY_DEAD;
 use rt3_server::{
-    loadgen, InferOutcome, LoadgenConfig, ServeClient, Server, ServerConfig, ServerSpec, Status,
+    check_load_invariants, loadgen, InferOutcome, LoadgenConfig, ServeClient, Server, ServerConfig,
+    ServerSpec, Status,
 };
 use std::time::{Duration, Instant};
 
@@ -61,6 +62,11 @@ fn loadgen_reconciles_with_server_counters() {
         report.wall_latency_ms.count() > 0,
         "wall-clock histogram is non-empty"
     );
+
+    // the full cross-layer invariant harness over the same data
+    if let Err(violations) = check_load_invariants(&report, &snapshot) {
+        panic!("load invariants violated:\n  {}", violations.join("\n  "));
+    }
 
     // server-side counters reconcile with the client-side tallies
     assert_eq!(
@@ -237,4 +243,60 @@ fn shutdown_resolves_every_outstanding_request() {
         "the shutdown was observed by the clients"
     );
     assert_eq!(server.pending_requests(), 0);
+    // the harness degrades to one-sided bounds when clients lost their
+    // sockets mid-conversation, so it must hold even across a shutdown
+    if let Err(violations) = check_load_invariants(&report, &server.metrics_snapshot()) {
+        panic!("load invariants violated:\n  {}", violations.join("\n  "));
+    }
+}
+
+#[test]
+fn subscribe_streams_obs_chunks_per_window() {
+    let server = Server::spawn("127.0.0.1:0", healthy_spec(), fast_config()).unwrap();
+
+    // some traffic so the series have non-trivial values
+    let mut worker = ServeClient::connect(server.local_addr()).unwrap();
+    for id in 0..3u64 {
+        worker.infer(id, 1_000.0, b"x").unwrap();
+    }
+
+    let mut sub = ServeClient::connect(server.local_addr()).unwrap();
+    sub.set_timeouts(Some(Duration::from_secs(5)), Some(Duration::from_secs(5)))
+        .unwrap();
+    let catch_up = sub.subscribe().unwrap();
+    assert!(
+        catch_up.contains("\"type\":\"obs\""),
+        "catch-up chunk carries the accounting line: {catch_up}"
+    );
+    assert!(
+        catch_up.contains("rt3-serve"),
+        "chunks are labelled with their source: {catch_up}"
+    );
+
+    // every subsequent chunk is one governor window's delta; at 50ms
+    // windows the dispatch tick produces them continuously
+    let mut windows = Vec::new();
+    for _ in 0..3 {
+        let chunk = sub.next_obs().unwrap();
+        assert!(chunk.ends_with('\n'), "chunks are newline-terminated");
+        for line in chunk.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "chunk lines are JSON objects: {line}"
+            );
+        }
+        // the window index is strictly increasing across chunks
+        if let Some(pos) = chunk.find("\"t_s\":") {
+            let rest = &chunk[pos + 6..];
+            let end = rest.find([',', '}']).unwrap();
+            windows.push(rest[..end].parse::<u64>().unwrap());
+        }
+    }
+    assert!(
+        windows.windows(2).all(|w| w[0] < w[1]),
+        "window indices advance monotonically: {windows:?}"
+    );
+
+    // the infer path keeps working while a subscriber is attached
+    worker.infer(99, 1_000.0, b"x").unwrap();
 }

@@ -64,6 +64,9 @@ pub struct TelemetryConfig {
     pub trace_capacity: usize,
     /// Ring-buffer bound on retained controller decisions (per device).
     pub audit_capacity: usize,
+    /// Ring-buffer bound on retained scrape windows and alert transitions
+    /// of the observability plane (per device, full level only).
+    pub series_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -74,6 +77,8 @@ impl Default for TelemetryConfig {
             // canned acceptance traces without overwriting
             trace_capacity: 65_536,
             audit_capacity: 8_192,
+            // one window per simulated second: ~17 minutes of history
+            series_capacity: 1_024,
         }
     }
 }
@@ -101,8 +106,10 @@ impl TelemetryConfig {
     ///
     /// Returns a description of the violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if self.level.full_enabled() && (self.trace_capacity == 0 || self.audit_capacity == 0) {
-            return Err("full telemetry requires positive trace/audit capacities".into());
+        if self.level.full_enabled()
+            && (self.trace_capacity == 0 || self.audit_capacity == 0 || self.series_capacity == 0)
+        {
+            return Err("full telemetry requires positive trace/audit/series capacities".into());
         }
         Ok(())
     }
@@ -134,6 +141,11 @@ mod tests {
         assert!(config.validate().is_ok());
         config.trace_capacity = 0;
         assert!(config.validate().is_err());
+        let no_series = TelemetryConfig {
+            series_capacity: 0,
+            ..TelemetryConfig::full()
+        };
+        assert!(no_series.validate().is_err());
         let off = TelemetryConfig {
             trace_capacity: 0,
             ..TelemetryConfig::default()

@@ -35,20 +35,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alert;
 mod audit;
 mod clock;
 mod config;
 mod histogram;
 mod json;
 mod metrics;
+mod span;
+mod timeseries;
 mod trace;
 
+pub use alert::{
+    AlertCondition, AlertEngine, AlertRule, AlertState, AlertTransition, Compare, ObsPlane,
+    ObsSnapshot,
+};
 pub use audit::{DecisionAudit, DecisionRecord, ResidualStats};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use config::{TelemetryConfig, TelemetryLevel};
-pub use histogram::StreamingHistogram;
+pub use histogram::{HistogramDelta, StreamingHistogram};
 pub use json::{json_f64, json_str};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricRegistry, MetricShard, MetricsSnapshot};
+pub use span::{
+    CriticalSegment, MissAttribution, RequestSpans, Span, SpanForest, SpanSegment, SwitchSpan,
+};
+pub use timeseries::{Scraper, SeriesExpr, SeriesPoint, WindowDelta};
 pub use trace::{RingBuffer, TraceEvent, TraceEventKind, TraceRecorder};
 
 /// Everything one instrumented run produced, detached from the live
@@ -73,6 +84,12 @@ pub struct TelemetrySnapshot {
     pub decisions_overwritten: u64,
     /// Prediction-vs-actual latency residuals accumulated by the audit.
     pub residuals: ResidualStats,
+    /// The observability plane's view — evaluated series and the alert
+    /// log — when the source ran one (`None` below
+    /// [`TelemetryLevel::Full`], and on merged fleet aggregates: series
+    /// from different sources don't sum point-wise, so consumers merge
+    /// raw metrics and re-derive).
+    pub obs: Option<ObsSnapshot>,
 }
 
 impl TelemetrySnapshot {
@@ -91,6 +108,15 @@ impl TelemetrySnapshot {
         self.decisions.extend(other.decisions.iter().cloned());
         self.decisions_overwritten += other.decisions_overwritten;
         self.residuals.merge(&other.residuals);
+        // Evaluated series are per-source; a fleet view re-derives from the
+        // merged metrics (or uses SpanForest::merge for spans).
+        self.obs = None;
+    }
+
+    /// Reassembles the trace into per-request span trees with switch
+    /// overlap attribution (empty below [`TelemetryLevel::Full`]).
+    pub fn spans(&self) -> SpanForest {
+        SpanForest::from_trace(&self.trace)
     }
 
     /// Drops series measured against the real clock (see
@@ -101,9 +127,13 @@ impl TelemetrySnapshot {
     }
 
     /// Serialises the whole snapshot as JSONL: one `{"type": "metric", ...}`
-    /// line per metric, one `{"type": "trace", ...}` line per span event and
-    /// one `{"type": "decision", ...}` line per audited decision, each
-    /// carrying the caller's extra `labels` (e.g. the device name).
+    /// line per metric, one `{"type": "trace", ...}` line per span event,
+    /// one `{"type": "decision", ...}` line per audited decision, one
+    /// `{"type": "ring", ...}` accounting line (so a consumer reassembling
+    /// spans can tell a complete trace from a truncated one instead of
+    /// silently reconstructing partial trees), and — when an observability
+    /// plane ran — the series/alert lines, each carrying the caller's
+    /// extra `labels` (e.g. the device name).
     pub fn to_jsonl(&self, labels: &[(&str, &str)]) -> String {
         let mut out = String::new();
         for line in self.metrics.to_jsonl_lines(labels) {
@@ -120,6 +150,18 @@ impl TelemetrySnapshot {
         }
         out.push_str(&self.residuals.to_json(labels));
         out.push('\n');
+        out.push_str(&format!(
+            "{{\"type\":\"ring\",\"trace_overwritten\":{},\"decisions_overwritten\":{}{}}}\n",
+            self.trace_overwritten,
+            self.decisions_overwritten,
+            json::label_suffix(labels)
+        ));
+        if let Some(obs) = &self.obs {
+            for line in obs.to_jsonl_lines(labels) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
         out
     }
 }
@@ -155,6 +197,7 @@ mod tests {
                 decisions: Vec::new(),
                 decisions_overwritten: 0,
                 residuals: audit.residuals(),
+                obs: Some(ObsPlane::standard(1_000.0, 8).snapshot()),
             }
         }
         let mut fleet = device_snapshot(3, 10.0);
@@ -169,6 +212,10 @@ mod tests {
         assert_eq!(fleet.trace.len(), 2);
         assert_eq!(fleet.trace_overwritten, 2);
         assert_eq!(fleet.residuals.count, 2);
+        assert!(
+            fleet.obs.is_none(),
+            "per-source series don't merge; fleet views re-derive"
+        );
     }
 
     #[test]
@@ -210,13 +257,14 @@ mod tests {
             decisions: audit.decisions(),
             decisions_overwritten: audit.overwritten(),
             residuals: audit.residuals(),
+            obs: None,
         };
         let jsonl = snapshot.to_jsonl(&[("device", "d0")]);
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(
             lines.len(),
-            3 + 1 + 1 + 1,
-            "metrics + trace + decision + residuals"
+            3 + 1 + 1 + 1 + 1,
+            "metrics + trace + decision + residuals + ring accounting"
         );
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(lines.iter().all(|l| l.contains("\"device\":\"d0\"")));
@@ -224,6 +272,8 @@ mod tests {
         assert!(jsonl.contains("\"type\":\"trace\""));
         assert!(jsonl.contains("\"type\":\"decision\""));
         assert!(jsonl.contains("\"type\":\"residuals\""));
+        assert!(jsonl.contains("\"type\":\"ring\""));
+        assert!(jsonl.contains("\"trace_overwritten\":0"));
         // non-finite inputs must serialise as null, not `inf`
         assert!(
             !jsonl.contains("inf"),

@@ -1,0 +1,449 @@
+//! Cross-layer request spans: the trace ring reassembled into
+//! parent/child timing trees, with a critical-path analyzer that says
+//! *where* each deadline was lost.
+//!
+//! The engine's [`TraceEvent`](crate::TraceEvent)s are flat; a
+//! [`SpanForest`] folds them back into per-request span trees (route →
+//! admit → queue → batch/infer → respond) plus device-level switch spans,
+//! because a governor reconfiguration blocks every queued request and its
+//! cost must be attributed to *them*, not to abstract queue time.
+//! [`SpanForest::critical_path`] splits each completed request's
+//! end-to-end latency into queue / switch / infer segments and names the
+//! dominant one; [`SpanForest::miss_attribution`] aggregates that over
+//! every deadline miss. Forests from several devices merge for a
+//! fleet-level view.
+
+use crate::json::{json_f64, json_str, label_suffix};
+use crate::trace::{TraceEvent, TraceEventKind};
+
+/// A segment of a request's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSegment {
+    /// Router picked a device (fleet runs only; zero-width marker).
+    Route,
+    /// Scheduler admission decision (zero-width marker).
+    Admit,
+    /// Waiting in the scheduler queue for a batch slot.
+    Queue,
+    /// Blocked behind a governor level switch (overlaps Queue).
+    Switch,
+    /// Executing inside a batch.
+    Infer,
+    /// Completion bookkeeping (zero-width marker).
+    Respond,
+}
+
+impl SpanSegment {
+    /// Short label used in JSONL output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanSegment::Route => "route",
+            SpanSegment::Admit => "admit",
+            SpanSegment::Queue => "queue",
+            SpanSegment::Switch => "switch",
+            SpanSegment::Infer => "infer",
+            SpanSegment::Respond => "respond",
+        }
+    }
+}
+
+/// One child span inside a request tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    /// Which lifecycle segment this is.
+    pub segment: SpanSegment,
+    /// Segment start, absolute milliseconds.
+    pub start_ms: f64,
+    /// Segment end, absolute milliseconds.
+    pub end_ms: f64,
+}
+
+impl Span {
+    /// Segment duration in milliseconds.
+    pub fn duration_ms(&self) -> f64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// The span tree of one completed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpans {
+    /// The request the tree belongs to.
+    pub request_id: u64,
+    /// When it arrived (root span start).
+    pub arrival_ms: f64,
+    /// When its batch started executing.
+    pub start_ms: f64,
+    /// When inference finished (root span end).
+    pub finish_ms: f64,
+    /// Requests in its batch.
+    pub batch: usize,
+    /// Level ladder position it ran at.
+    pub level_pos: usize,
+    /// Whether it beat its deadline.
+    pub met_deadline: bool,
+    /// Cost-model prediction made at admission.
+    pub predicted_ms: f64,
+    /// Milliseconds of its queue wait spent blocked behind level
+    /// switches.
+    pub switch_ms: f64,
+}
+
+impl RequestSpans {
+    /// Time spent waiting in the queue (including any switch overlap).
+    pub fn queue_ms(&self) -> f64 {
+        self.start_ms - self.arrival_ms
+    }
+
+    /// Time spent executing inside the batch.
+    pub fn infer_ms(&self) -> f64 {
+        self.finish_ms - self.start_ms
+    }
+
+    /// End-to-end latency.
+    pub fn total_ms(&self) -> f64 {
+        self.finish_ms - self.arrival_ms
+    }
+
+    /// The ordered child spans of the tree: zero-width admit/respond
+    /// markers bracket the measured queue (minus switch overlap), switch
+    /// and infer segments.
+    pub fn children(&self) -> Vec<Span> {
+        let mut spans = vec![Span {
+            segment: SpanSegment::Admit,
+            start_ms: self.arrival_ms,
+            end_ms: self.arrival_ms,
+        }];
+        if self.switch_ms > 0.0 {
+            spans.push(Span {
+                segment: SpanSegment::Switch,
+                start_ms: self.arrival_ms,
+                end_ms: self.arrival_ms + self.switch_ms,
+            });
+        }
+        spans.push(Span {
+            segment: SpanSegment::Queue,
+            start_ms: self.arrival_ms + self.switch_ms,
+            end_ms: self.start_ms,
+        });
+        spans.push(Span {
+            segment: SpanSegment::Infer,
+            start_ms: self.start_ms,
+            end_ms: self.finish_ms,
+        });
+        spans.push(Span {
+            segment: SpanSegment::Respond,
+            start_ms: self.finish_ms,
+            end_ms: self.finish_ms,
+        });
+        spans
+    }
+
+    /// The dominant segment of this request's latency and its duration:
+    /// the largest of switch overlap, remaining queue wait, and infer
+    /// time. Ties break deterministically switch > queue > infer, so the
+    /// analyzer blames the most actionable cause first.
+    pub fn critical_path(&self) -> (CriticalSegment, f64) {
+        let queue_rest = (self.queue_ms() - self.switch_ms).max(0.0);
+        let infer = self.infer_ms();
+        if self.switch_ms >= queue_rest && self.switch_ms >= infer {
+            (CriticalSegment::Switch, self.switch_ms)
+        } else if queue_rest >= infer {
+            (CriticalSegment::Queue, queue_rest)
+        } else {
+            (CriticalSegment::Infer, infer)
+        }
+    }
+
+    /// One `{"type":"span",...}` JSONL line for the whole tree.
+    pub fn to_json(&self, labels: &[(&str, &str)]) -> String {
+        let (segment, dominant_ms) = self.critical_path();
+        format!(
+            "{{\"type\":\"span\",\"request_id\":{},\"arrival_ms\":{},\"start_ms\":{},\
+             \"finish_ms\":{},\"queue_ms\":{},\"switch_ms\":{},\"infer_ms\":{},\
+             \"batch\":{},\"level_pos\":{},\"met_deadline\":{},\"predicted_ms\":{},\
+             \"critical\":{},\"critical_ms\":{}{}}}",
+            self.request_id,
+            json_f64(self.arrival_ms),
+            json_f64(self.start_ms),
+            json_f64(self.finish_ms),
+            json_f64(self.queue_ms()),
+            json_f64(self.switch_ms),
+            json_f64(self.infer_ms()),
+            self.batch,
+            self.level_pos,
+            self.met_deadline,
+            json_f64(self.predicted_ms),
+            json_str(segment.label()),
+            json_f64(dominant_ms),
+            label_suffix(labels)
+        )
+    }
+}
+
+/// A device-level governor reconfiguration span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchSpan {
+    /// When the switch started blocking workers.
+    pub start_ms: f64,
+    /// When workers unblocked.
+    pub end_ms: f64,
+    /// Level ladder position before.
+    pub from_level: usize,
+    /// Level ladder position after.
+    pub to_level: usize,
+}
+
+/// The segment a miss is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CriticalSegment {
+    /// Queue wait dominated.
+    Queue,
+    /// Level-switch blocking dominated.
+    Switch,
+    /// Inference time dominated.
+    Infer,
+}
+
+impl CriticalSegment {
+    /// Short label used in JSONL output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CriticalSegment::Queue => "queue",
+            CriticalSegment::Switch => "switch",
+            CriticalSegment::Infer => "infer",
+        }
+    }
+}
+
+/// Deadline misses grouped by their dominant segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MissAttribution {
+    /// Misses dominated by queue wait.
+    pub queue: u64,
+    /// Misses dominated by switch blocking.
+    pub switch: u64,
+    /// Misses dominated by inference time.
+    pub infer: u64,
+}
+
+impl MissAttribution {
+    /// Total attributed misses.
+    pub fn total(&self) -> u64 {
+        self.queue + self.switch + self.infer
+    }
+}
+
+/// Every request span tree and switch span reconstructed from a trace
+/// ring (one device), or merged across devices (fleet view).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanForest {
+    /// Completed requests, ordered by (arrival, id).
+    pub requests: Vec<RequestSpans>,
+    /// Governor switches, ordered by start.
+    pub switches: Vec<SwitchSpan>,
+}
+
+impl SpanForest {
+    /// Reassembles span trees from a flat trace: one [`RequestSpans`] per
+    /// `Complete` event, one [`SwitchSpan`] per `Switch` event, with each
+    /// request's queue wait intersected against the switch spans to
+    /// compute its switch overlap.
+    pub fn from_trace(events: &[TraceEvent]) -> Self {
+        let mut switches = Vec::new();
+        for event in events {
+            if let TraceEventKind::Switch {
+                from_level,
+                to_level,
+                duration_ms,
+            } = event.kind
+            {
+                switches.push(SwitchSpan {
+                    start_ms: event.t_ms,
+                    end_ms: event.t_ms + duration_ms,
+                    from_level,
+                    to_level,
+                });
+            }
+        }
+        let mut requests = Vec::new();
+        for event in events {
+            if let TraceEventKind::Complete {
+                arrival_ms,
+                start_ms,
+                finish_ms,
+                batch,
+                level_pos,
+                met_deadline,
+                predicted_ms,
+            } = event.kind
+            {
+                let switch_ms = overlap_total(arrival_ms, start_ms, &switches);
+                requests.push(RequestSpans {
+                    request_id: event.request_id,
+                    arrival_ms,
+                    start_ms,
+                    finish_ms,
+                    batch,
+                    level_pos,
+                    met_deadline,
+                    predicted_ms,
+                    switch_ms,
+                });
+            }
+        }
+        let mut forest = Self { requests, switches };
+        forest.sort();
+        forest
+    }
+
+    fn sort(&mut self) {
+        self.requests.sort_by(|a, b| {
+            a.arrival_ms
+                .total_cmp(&b.arrival_ms)
+                .then(a.request_id.cmp(&b.request_id))
+        });
+        self.switches
+            .sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+    }
+
+    /// Folds another device's forest into this one (fleet-level merge);
+    /// ordering stays deterministic.
+    pub fn merge(&mut self, other: &SpanForest) {
+        self.requests.extend(other.requests.iter().cloned());
+        self.switches.extend(other.switches.iter().copied());
+        self.sort();
+    }
+
+    /// Attributes every deadline miss to its dominant segment.
+    pub fn miss_attribution(&self) -> MissAttribution {
+        let mut out = MissAttribution::default();
+        for request in self.requests.iter().filter(|r| !r.met_deadline) {
+            match request.critical_path().0 {
+                CriticalSegment::Queue => out.queue += 1,
+                CriticalSegment::Switch => out.switch += 1,
+                CriticalSegment::Infer => out.infer += 1,
+            }
+        }
+        out
+    }
+
+    /// One JSONL line per request tree plus one per switch span.
+    pub fn to_jsonl_lines(&self, labels: &[(&str, &str)]) -> Vec<String> {
+        let mut lines: Vec<String> = self.requests.iter().map(|r| r.to_json(labels)).collect();
+        for s in &self.switches {
+            lines.push(format!(
+                "{{\"type\":\"span\",\"segment\":\"switch\",\"start_ms\":{},\"end_ms\":{},\
+                 \"from_level\":{},\"to_level\":{}{}}}",
+                json_f64(s.start_ms),
+                json_f64(s.end_ms),
+                s.from_level,
+                s.to_level,
+                label_suffix(labels)
+            ));
+        }
+        lines
+    }
+}
+
+/// Total overlap of `[lo, hi]` with the switch spans.
+fn overlap_total(lo: f64, hi: f64, switches: &[SwitchSpan]) -> f64 {
+    switches
+        .iter()
+        .map(|s| (s.end_ms.min(hi) - s.start_ms.max(lo)).max(0.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(id: u64, arrival: f64, start: f64, finish: f64, met: bool) -> TraceEvent {
+        TraceEvent {
+            t_ms: finish,
+            request_id: id,
+            kind: TraceEventKind::Complete {
+                arrival_ms: arrival,
+                start_ms: start,
+                finish_ms: finish,
+                batch: 1,
+                level_pos: 0,
+                met_deadline: met,
+                predicted_ms: 5.0,
+            },
+        }
+    }
+
+    fn switch(at: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            t_ms: at,
+            request_id: 0,
+            kind: TraceEventKind::Switch {
+                from_level: 0,
+                to_level: 1,
+                duration_ms: dur,
+            },
+        }
+    }
+
+    #[test]
+    fn critical_path_blames_the_dominant_segment() {
+        let events = vec![
+            switch(10.0, 30.0),
+            // queued 0..50, switch covers 10..40 of it → switch 30 > queue 20 > infer 5
+            complete(1, 0.0, 50.0, 55.0, false),
+            // queued 100..102, infer 40 dominates
+            complete(2, 100.0, 102.0, 142.0, false),
+            // long queue, no switch overlap
+            complete(3, 200.0, 290.0, 295.0, false),
+        ];
+        let forest = SpanForest::from_trace(&events);
+        assert_eq!(forest.requests.len(), 3);
+        assert_eq!(forest.switches.len(), 1);
+        assert_eq!(forest.requests[0].switch_ms, 30.0);
+        assert_eq!(
+            forest.requests[0].critical_path().0,
+            CriticalSegment::Switch
+        );
+        assert_eq!(forest.requests[1].critical_path().0, CriticalSegment::Infer);
+        assert_eq!(forest.requests[2].critical_path().0, CriticalSegment::Queue);
+        let attribution = forest.miss_attribution();
+        assert_eq!(attribution.queue, 1);
+        assert_eq!(attribution.switch, 1);
+        assert_eq!(attribution.infer, 1);
+        assert_eq!(attribution.total(), 3, "every miss attributed");
+    }
+
+    #[test]
+    fn children_cover_the_request_without_gaps() {
+        let forest =
+            SpanForest::from_trace(&[switch(5.0, 10.0), complete(7, 0.0, 30.0, 45.0, true)]);
+        let request = &forest.requests[0];
+        assert_eq!(request.switch_ms, 10.0);
+        let children = request.children();
+        // switch + queue + infer tile [arrival, finish] without gaps
+        let queue = children
+            .iter()
+            .find(|s| s.segment == SpanSegment::Queue)
+            .unwrap();
+        assert_eq!(queue.start_ms, request.arrival_ms + request.switch_ms);
+        assert_eq!(queue.end_ms, request.start_ms);
+        let covered: f64 = children.iter().map(|s| s.duration_ms()).sum();
+        assert_eq!(covered, request.total_ms());
+        assert!(children.iter().any(|s| s.segment == SpanSegment::Switch));
+    }
+
+    #[test]
+    fn fleet_merge_is_ordered_and_serialises() {
+        let a = SpanForest::from_trace(&[complete(2, 10.0, 20.0, 30.0, true)]);
+        let mut b = SpanForest::from_trace(&[switch(0.0, 5.0), complete(1, 3.0, 8.0, 12.0, false)]);
+        b.merge(&a);
+        assert_eq!(b.requests[0].request_id, 1, "sorted by arrival after merge");
+        assert_eq!(b.requests[1].request_id, 2);
+        let lines = b.to_jsonl_lines(&[("fleet", "f0")]);
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.contains("\"type\":\"span\"")));
+        assert!(lines.iter().any(|l| l.contains("\"critical\":")));
+        assert!(lines.last().unwrap().contains("\"segment\":\"switch\""));
+    }
+}

@@ -1,0 +1,631 @@
+//! Live time-series: a fixed-capacity ring of per-window
+//! [`MetricsSnapshot`] deltas and the derived series an operator watches.
+//!
+//! The runtime's metrics are *cumulative* — counters only grow, histograms
+//! only accumulate. A [`Scraper`] turns them into per-window signals: on
+//! every window boundary it diffs the current snapshot against the
+//! previous one (counter increments, gauge values, histogram deltas via
+//! [`StreamingHistogram::delta_since`]) and retains the [`WindowDelta`] in
+//! a bounded ring. Derived series ([`SeriesExpr`]) — rates from monotone
+//! counters, error ratios, per-window histogram quantiles, EWMA smoothing
+//! — are evaluated on demand over the retained windows, so evaluation is a
+//! pure function of the ring content and replays bit-exactly.
+//!
+//! Both window loops feed the same scraper type: the simulated
+//! engine/fleet scrape on simulated window boundaries, the socket server
+//! scrapes on its wall-clock dispatch tick.
+
+use crate::histogram::{HistogramDelta, StreamingHistogram};
+use crate::json::{json_f64, json_str, label_suffix};
+use crate::metrics::MetricsSnapshot;
+use crate::trace::RingBuffer;
+
+/// The three diffed components of one window: counter increments, gauge
+/// values and histogram deltas (the body of a [`WindowDelta`]).
+type DeltaParts = (
+    Vec<(String, u64)>,
+    Vec<(String, f64)>,
+    Vec<(String, HistogramDelta)>,
+);
+
+/// One scrape window's worth of metric movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDelta {
+    /// Window index (seconds into a simulated trace, or the server's
+    /// window counter).
+    pub t_s: u32,
+    /// Absolute time of the window end, milliseconds.
+    pub end_ms: f64,
+    /// Counter increments during the window (every known counter, zeros
+    /// included, so series stay dense).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values at the window end (unset gauges omitted).
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram movement during the window (only histograms that recorded
+    /// at least one sample).
+    pub histograms: Vec<(String, HistogramDelta)>,
+}
+
+impl WindowDelta {
+    /// Counter increment by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge value by name, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram delta by name, if the window recorded any sample into it.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramDelta> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d)
+    }
+
+    /// Drops wall-clock histogram deltas (`*_wall_ms`), mirroring
+    /// [`MetricsSnapshot::scrub_wall_clock`] so replayed window rings
+    /// compare bit-exactly.
+    pub fn scrub_wall_clock(&mut self) {
+        self.histograms
+            .retain(|(name, _)| !name.ends_with("_wall_ms"));
+    }
+}
+
+/// A derived series: how to turn the retained window deltas into one
+/// `(t_s, value)` sequence. Evaluation is pure — same windows, same
+/// points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesExpr {
+    /// Per-second rate of a monotone counter (window increment divided by
+    /// the window length).
+    CounterRate(String),
+    /// Raw per-window increment of a monotone counter.
+    CounterDelta(String),
+    /// Gauge value at each window end (windows where the gauge is unset
+    /// yield no point).
+    Gauge(String),
+    /// `sum(numer increments) / sum(denom increments)` per window; windows
+    /// with a zero denominator yield 0 (an idle window has no errors).
+    Ratio {
+        /// Counter names summed into the numerator.
+        numer: Vec<String>,
+        /// Counter names summed into the denominator.
+        denom: Vec<String>,
+    },
+    /// Per-window quantile of a histogram's delta (windows where the
+    /// histogram recorded nothing yield no point).
+    HistogramQuantile {
+        /// Histogram name.
+        name: String,
+        /// Quantile in `[0, 1]`.
+        q: f64,
+    },
+    /// Exponentially-weighted moving average over the inner series:
+    /// `e_0 = v_0`, `e_i = alpha·v_i + (1-alpha)·e_{i-1}`, folded over the
+    /// retained points oldest-first.
+    Ewma {
+        /// The series being smoothed.
+        inner: Box<SeriesExpr>,
+        /// Smoothing factor in `(0, 1]`; higher tracks faster.
+        alpha: f64,
+    },
+}
+
+impl SeriesExpr {
+    /// Whether each window's point depends on that window alone — true
+    /// for everything except EWMA, whose fold carries history. Pointwise
+    /// expressions evaluate identically over any suffix of the ring.
+    fn pointwise(&self) -> bool {
+        !matches!(self, SeriesExpr::Ewma { .. })
+    }
+}
+
+/// One sample of a derived series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Window index the sample belongs to.
+    pub t_s: u32,
+    /// Series value for that window.
+    pub value: f64,
+}
+
+impl SeriesPoint {
+    /// One `{"type":"series",...}` JSONL line carrying the caller's
+    /// `labels`.
+    pub fn to_json(&self, name: &str, labels: &[(&str, &str)]) -> String {
+        format!(
+            "{{\"type\":\"series\",\"name\":{},\"t_s\":{},\"value\":{}{}}}",
+            json_str(name),
+            self.t_s,
+            json_f64(self.value),
+            label_suffix(labels)
+        )
+    }
+}
+
+/// Scrapes a cumulative [`MetricsSnapshot`] on window boundaries into a
+/// bounded ring of [`WindowDelta`]s and evaluates named derived series
+/// over them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scraper {
+    window_ms: f64,
+    prev: Option<MetricsSnapshot>,
+    windows: RingBuffer<WindowDelta>,
+    series: Vec<(String, SeriesExpr)>,
+    scrapes: u64,
+    counter_resets: u64,
+}
+
+impl Scraper {
+    /// A scraper retaining at most `capacity` windows of `window_ms`
+    /// length, evaluating the given named `series`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(window_ms: f64, capacity: usize, series: Vec<(String, SeriesExpr)>) -> Self {
+        Self {
+            window_ms,
+            prev: None,
+            windows: RingBuffer::new(capacity),
+            series,
+            scrapes: 0,
+            counter_resets: 0,
+        }
+    }
+
+    /// The dashboard set both serving paths export by default: admission
+    /// and completion rates, the terminal-outcome miss ratio (and its
+    /// EWMA), queue depth, battery signals and the per-window p95 latency.
+    /// Names reference the runtime/server metric contract of DESIGN.md §9;
+    /// series whose metrics a source does not register simply stay empty.
+    pub fn default_series() -> Vec<(String, SeriesExpr)> {
+        let miss_ratio = SeriesExpr::Ratio {
+            numer: vec![
+                "deadline_missed".into(),
+                "requests_rejected_queue_full".into(),
+                "requests_rejected_certain_miss".into(),
+                "requests_dropped_dead".into(),
+            ],
+            denom: vec![
+                "requests_admitted".into(),
+                "requests_rejected_queue_full".into(),
+                "requests_rejected_certain_miss".into(),
+            ],
+        };
+        vec![
+            (
+                "admitted_per_s".into(),
+                SeriesExpr::CounterRate("requests_admitted".into()),
+            ),
+            (
+                "completed_per_s".into(),
+                SeriesExpr::CounterRate("requests_completed".into()),
+            ),
+            ("miss_rate".into(), miss_ratio.clone()),
+            (
+                "miss_rate_ewma".into(),
+                SeriesExpr::Ewma {
+                    inner: Box::new(miss_ratio),
+                    alpha: 0.3,
+                },
+            ),
+            (
+                "queue_depth".into(),
+                SeriesExpr::Gauge("queue_depth".into()),
+            ),
+            (
+                "state_of_charge".into(),
+                SeriesExpr::Gauge("state_of_charge".into()),
+            ),
+            (
+                "time_to_death_ms".into(),
+                SeriesExpr::Gauge("time_to_death_ms".into()),
+            ),
+            (
+                "p95_latency_ms".into(),
+                SeriesExpr::HistogramQuantile {
+                    name: "latency_ms".into(),
+                    q: 0.95,
+                },
+            ),
+        ]
+    }
+
+    /// Window length in milliseconds.
+    pub fn window_ms(&self) -> f64 {
+        self.window_ms
+    }
+
+    /// Diffs `snapshot` against the previous scrape and retains the
+    /// resulting [`WindowDelta`]. A counter or histogram that moved
+    /// backwards means the source was reset, not extended; the scrape then
+    /// treats the whole snapshot as this window's movement and counts the
+    /// reset (monotone sources — everything in this workspace — never
+    /// trigger it).
+    pub fn scrape(&mut self, t_s: u32, end_ms: f64, snapshot: MetricsSnapshot) {
+        self.scrapes += 1;
+        // the hot path: consecutive scrapes of one registry are positionally
+        // aligned, and the consumed previous snapshot donates its name
+        // allocations to the retained delta — the steady-state scrape
+        // allocates no strings at all
+        let delta = match self.prev.take() {
+            Some(prev) if Self::aligned(&prev, &snapshot) => Self::diff_aligned(prev, &snapshot),
+            Some(prev) => Self::diff(&prev, &snapshot),
+            None => None,
+        };
+        let (counters, gauges, histograms) = match delta {
+            Some(delta) => delta,
+            None => {
+                if self.scrapes > 1 {
+                    self.counter_resets += 1;
+                }
+                let empty = MetricsSnapshot::default();
+                Self::diff(&empty, &snapshot).expect("an empty baseline never shrinks")
+            }
+        };
+        self.windows.push(WindowDelta {
+            t_s,
+            end_ms,
+            counters,
+            gauges,
+            histograms,
+        });
+        self.prev = Some(snapshot);
+    }
+
+    /// Whether `prev` and `cur` hold the same metric names in the same
+    /// order — true for consecutive snapshots of one registry, whose
+    /// layout is append-only.
+    fn aligned(prev: &MetricsSnapshot, cur: &MetricsSnapshot) -> bool {
+        prev.counters.len() == cur.counters.len()
+            && prev.gauges.len() == cur.gauges.len()
+            && prev.histograms.len() == cur.histograms.len()
+            && prev
+                .counters
+                .iter()
+                .zip(&cur.counters)
+                .all(|((a, _), (b, _))| a == b)
+            && prev
+                .gauges
+                .iter()
+                .zip(&cur.gauges)
+                .all(|((a, _), (b, _))| a == b)
+            && prev
+                .histograms
+                .iter()
+                .zip(&cur.histograms)
+                .all(|((a, _), (b, _))| a == b)
+    }
+
+    /// Positionally diffs `cur` against a consumed aligned `prev`, moving
+    /// `prev`'s name strings into the output; `None` when a counter or
+    /// histogram moved backwards (the source was reset, not extended).
+    #[allow(clippy::type_complexity)]
+    fn diff_aligned(prev: MetricsSnapshot, cur: &MetricsSnapshot) -> Option<DeltaParts> {
+        let mut counters = Vec::with_capacity(cur.counters.len());
+        for ((name, before), &(_, value)) in prev.counters.into_iter().zip(&cur.counters) {
+            if value < before {
+                return None;
+            }
+            counters.push((name, value - before));
+        }
+        let mut gauges = Vec::with_capacity(cur.gauges.len());
+        for ((name, _), &(_, value)) in prev.gauges.into_iter().zip(&cur.gauges) {
+            gauges.push((name, value));
+        }
+        let mut histograms = Vec::with_capacity(cur.histograms.len());
+        for ((name, before), (_, value)) in prev.histograms.into_iter().zip(&cur.histograms) {
+            let delta = value.delta_since(&before)?;
+            if !delta.is_empty() {
+                histograms.push((name, delta));
+            }
+        }
+        Some((counters, gauges, histograms))
+    }
+
+    /// Diffs `cur` against `prev` by name — the slow path for sources that
+    /// re-registered metrics between scrapes; `None` when any counter or
+    /// histogram moved backwards or disappeared (the source was reset, not
+    /// extended).
+    #[allow(clippy::type_complexity)]
+    fn diff(prev: &MetricsSnapshot, cur: &MetricsSnapshot) -> Option<DeltaParts> {
+        let mut counters = Vec::with_capacity(cur.counters.len());
+        for (name, value) in &cur.counters {
+            let before = prev.counter(name).unwrap_or(0);
+            if *value < before {
+                return None;
+            }
+            counters.push((name.clone(), value - before));
+        }
+        if prev
+            .counters
+            .iter()
+            .any(|(name, before)| *before > 0 && cur.counter(name).is_none())
+        {
+            return None;
+        }
+        let fresh = StreamingHistogram::default();
+        let mut histograms = Vec::with_capacity(cur.histograms.len());
+        for (name, value) in &cur.histograms {
+            let before = prev.histogram(name).unwrap_or(&fresh);
+            let delta = value.delta_since(before)?;
+            if !delta.is_empty() {
+                histograms.push((name.clone(), delta));
+            }
+        }
+        if prev
+            .histograms
+            .iter()
+            .any(|(name, before)| before.count() > 0 && cur.histogram(name).is_none())
+        {
+            return None;
+        }
+        Some((counters, cur.gauges.clone(), histograms))
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> Vec<WindowDelta> {
+        self.windows.to_vec()
+    }
+
+    /// Scrapes performed so far.
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes
+    }
+
+    /// Windows evicted from the ring to bound memory.
+    pub fn windows_dropped(&self) -> u64 {
+        self.windows.overwritten()
+    }
+
+    /// Non-monotone scrapes observed (should be 0 for every source in this
+    /// workspace; the counter is how a consumer detects a restarted
+    /// source).
+    pub fn counter_resets(&self) -> u64 {
+        self.counter_resets
+    }
+
+    /// The configured named series.
+    pub fn series(&self) -> &[(String, SeriesExpr)] {
+        &self.series
+    }
+
+    /// Evaluates one series expression over the retained windows.
+    pub fn evaluate(&self, expr: &SeriesExpr) -> Vec<SeriesPoint> {
+        // references only: evaluation is on the per-window alert path, so
+        // it must not deep-clone the retained ring
+        let windows: Vec<&WindowDelta> = self.windows.iter().collect();
+        Self::evaluate_over(&windows, self.window_ms, expr)
+    }
+
+    /// Evaluates `expr` over only the newest `tail` windows — exact for
+    /// pointwise expressions (every variant except EWMA maps each window
+    /// to its point independently); a history-folding expression falls
+    /// back to the full ring so smoothing stays correct. This keeps the
+    /// per-window alert evaluation O(tail) instead of O(retained).
+    pub fn evaluate_tail(&self, expr: &SeriesExpr, tail: usize) -> Vec<SeriesPoint> {
+        if !expr.pointwise() {
+            return self.evaluate(expr);
+        }
+        let skip = self.windows.len().saturating_sub(tail);
+        let windows: Vec<&WindowDelta> = self.windows.iter().skip(skip).collect();
+        Self::evaluate_over(&windows, self.window_ms, expr)
+    }
+
+    /// Evaluates every configured named series.
+    pub fn evaluate_named(&self) -> Vec<(String, Vec<SeriesPoint>)> {
+        let windows: Vec<&WindowDelta> = self.windows.iter().collect();
+        self.series
+            .iter()
+            .map(|(name, expr)| {
+                (
+                    name.clone(),
+                    Self::evaluate_over(&windows, self.window_ms, expr),
+                )
+            })
+            .collect()
+    }
+
+    fn evaluate_over(
+        windows: &[&WindowDelta],
+        window_ms: f64,
+        expr: &SeriesExpr,
+    ) -> Vec<SeriesPoint> {
+        match expr {
+            SeriesExpr::CounterRate(name) => windows
+                .iter()
+                .map(|w| SeriesPoint {
+                    t_s: w.t_s,
+                    value: w.counter(name) as f64 / (window_ms / 1_000.0),
+                })
+                .collect(),
+            SeriesExpr::CounterDelta(name) => windows
+                .iter()
+                .map(|w| SeriesPoint {
+                    t_s: w.t_s,
+                    value: w.counter(name) as f64,
+                })
+                .collect(),
+            SeriesExpr::Gauge(name) => windows
+                .iter()
+                .filter_map(|w| w.gauge(name).map(|value| SeriesPoint { t_s: w.t_s, value }))
+                .collect(),
+            SeriesExpr::Ratio { numer, denom } => windows
+                .iter()
+                .map(|w| {
+                    let n: u64 = numer.iter().map(|name| w.counter(name)).sum();
+                    let d: u64 = denom.iter().map(|name| w.counter(name)).sum();
+                    SeriesPoint {
+                        t_s: w.t_s,
+                        value: if d == 0 { 0.0 } else { n as f64 / d as f64 },
+                    }
+                })
+                .collect(),
+            SeriesExpr::HistogramQuantile { name, q } => windows
+                .iter()
+                .filter_map(|w| {
+                    w.histogram(name).map(|delta| SeriesPoint {
+                        t_s: w.t_s,
+                        value: delta.window_histogram().quantile(*q),
+                    })
+                })
+                .collect(),
+            SeriesExpr::Ewma { inner, alpha } => {
+                let mut smoothed = None;
+                Self::evaluate_over(windows, window_ms, inner)
+                    .into_iter()
+                    .map(|p| {
+                        let e = match smoothed {
+                            None => p.value,
+                            Some(prev) => alpha * p.value + (1.0 - alpha) * prev,
+                        };
+                        smoothed = Some(e);
+                        SeriesPoint {
+                            t_s: p.t_s,
+                            value: e,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Drops wall-clock histogram deltas from every retained window (see
+    /// [`WindowDelta::scrub_wall_clock`]), and forgets the wall-clock
+    /// histograms of the last scrape so the next delta stays consistent.
+    pub fn scrub_wall_clock(&mut self) {
+        let mut ring = RingBuffer::new(self.windows.capacity());
+        for mut w in self.windows.to_vec() {
+            w.scrub_wall_clock();
+            ring.push(w);
+        }
+        self.windows = ring;
+        if let Some(prev) = &mut self.prev {
+            prev.scrub_wall_clock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamingHistogram;
+
+    fn snapshot(completed: u64, missed: u64, latencies: &[f64]) -> MetricsSnapshot {
+        let mut h = StreamingHistogram::new();
+        for &l in latencies {
+            h.record(l);
+        }
+        MetricsSnapshot {
+            counters: vec![
+                ("requests_admitted".into(), completed + missed),
+                ("requests_completed".into(), completed),
+                ("deadline_missed".into(), missed),
+            ],
+            gauges: vec![("queue_depth".into(), missed as f64)],
+            histograms: vec![("latency_ms".into(), h)],
+        }
+    }
+
+    #[test]
+    fn scrape_diffs_counters_gauges_and_histograms_per_window() {
+        let mut scraper = Scraper::new(1_000.0, 8, Vec::new());
+        scraper.scrape(0, 1_000.0, snapshot(5, 1, &[10.0; 6]));
+        scraper.scrape(1, 2_000.0, snapshot(9, 1, &[10.0; 10]));
+        let windows = scraper.windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].counter("requests_completed"), 5);
+        assert_eq!(windows[1].counter("requests_completed"), 4);
+        assert_eq!(windows[1].counter("deadline_missed"), 0);
+        assert_eq!(windows[1].gauge("queue_depth"), Some(1.0));
+        assert_eq!(windows[0].histogram("latency_ms").unwrap().count(), 6);
+        assert_eq!(windows[1].histogram("latency_ms").unwrap().count(), 4);
+        assert_eq!(scraper.counter_resets(), 0);
+        assert_eq!(scraper.scrapes(), 2);
+    }
+
+    #[test]
+    fn rates_ratios_quantiles_and_ewma_evaluate_over_windows() {
+        let mut scraper = Scraper::new(500.0, 8, Scraper::default_series());
+        scraper.scrape(0, 500.0, snapshot(4, 0, &[10.0; 4]));
+        scraper.scrape(
+            1,
+            1_000.0,
+            snapshot(6, 2, &[10.0, 10.0, 10.0, 10.0, 40.0, 40.0]),
+        );
+        let rate = scraper.evaluate(&SeriesExpr::CounterRate("requests_completed".into()));
+        assert_eq!(rate[0].value, 8.0, "4 completions in half a second");
+        assert_eq!(rate[1].value, 4.0);
+        let miss = scraper.evaluate(&SeriesExpr::Ratio {
+            numer: vec!["deadline_missed".into()],
+            denom: vec!["requests_admitted".into()],
+        });
+        assert_eq!(miss[0].value, 0.0);
+        assert_eq!(miss[1].value, 0.5, "2 misses over 4 admissions");
+        let p95 = scraper.evaluate(&SeriesExpr::HistogramQuantile {
+            name: "latency_ms".into(),
+            q: 0.95,
+        });
+        assert!(p95[0].value < 11.0);
+        assert!(
+            p95[1].value >= 39.0,
+            "the window's own tail, not the cumulative one"
+        );
+        let ewma = scraper.evaluate(&SeriesExpr::Ewma {
+            inner: Box::new(SeriesExpr::Ratio {
+                numer: vec!["deadline_missed".into()],
+                denom: vec!["requests_admitted".into()],
+            }),
+            alpha: 0.5,
+        });
+        assert_eq!(ewma[0].value, 0.0);
+        assert_eq!(ewma[1].value, 0.25);
+        // the named dashboard set evaluates without panicking
+        let named = scraper.evaluate_named();
+        assert!(named.iter().any(|(n, _)| n == "miss_rate"));
+    }
+
+    #[test]
+    fn ring_bounds_windows_and_resets_are_detected() {
+        let mut scraper = Scraper::new(1_000.0, 2, Vec::new());
+        for t in 0..4u32 {
+            scraper.scrape(t, (t + 1) as f64 * 1_000.0, snapshot(t as u64 + 1, 0, &[]));
+        }
+        assert_eq!(scraper.windows().len(), 2);
+        assert_eq!(scraper.windows_dropped(), 2);
+        assert_eq!(scraper.windows()[0].t_s, 2, "oldest windows evicted first");
+        // a shrunk counter is a reset: the scrape falls back to absolutes
+        scraper.scrape(4, 5_000.0, snapshot(1, 0, &[]));
+        assert_eq!(scraper.counter_resets(), 1);
+        assert_eq!(
+            scraper
+                .windows()
+                .last()
+                .unwrap()
+                .counter("requests_completed"),
+            1
+        );
+    }
+
+    #[test]
+    fn series_points_serialise_as_jsonl() {
+        let p = SeriesPoint {
+            t_s: 7,
+            value: 0.25,
+        };
+        let line = p.to_json("miss_rate", &[("device", "d0")]);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"type\":\"series\""));
+        assert!(line.contains("\"name\":\"miss_rate\""));
+        assert!(line.contains("\"t_s\":7"));
+        assert!(line.contains("\"device\":\"d0\""));
+    }
+}

@@ -51,6 +51,11 @@ impl<T: Clone> RingBuffer<T> {
         self.slots.len()
     }
 
+    /// Maximum number of retained elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether nothing has been pushed yet.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()
@@ -67,6 +72,15 @@ impl<T: Clone> RingBuffer<T> {
         out.extend_from_slice(&self.slots[self.head..]);
         out.extend_from_slice(&self.slots[..self.head]);
         out
+    }
+
+    /// Borrowing iterator over the retained elements, oldest first — the
+    /// clone-free counterpart of [`RingBuffer::to_vec`] for hot paths that
+    /// only read.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.slots[self.head..]
+            .iter()
+            .chain(&self.slots[..self.head])
     }
 }
 
@@ -118,6 +132,17 @@ pub enum TraceEventKind {
         /// Why it was discarded (e.g. the device died).
         reason: &'static str,
     },
+    /// The governor reconfigured the active model level; workers were
+    /// blocked for `duration_ms` (`request_id` is 0 — a switch belongs to
+    /// the device, and overlaps every queued request's wait).
+    Switch {
+        /// Level ladder position before the switch.
+        from_level: usize,
+        /// Level ladder position after the switch.
+        to_level: usize,
+        /// How long workers were blocked loading weights.
+        duration_ms: f64,
+    },
 }
 
 impl TraceEventKind {
@@ -129,6 +154,7 @@ impl TraceEventKind {
             TraceEventKind::Infer { .. } => "infer",
             TraceEventKind::Complete { .. } => "complete",
             TraceEventKind::Drop { .. } => "drop",
+            TraceEventKind::Switch { .. } => "switch",
         }
     }
 }
@@ -197,6 +223,14 @@ impl TraceEvent {
             TraceEventKind::Drop { reason } => {
                 format!(",\"reason\":{}", json_str(reason))
             }
+            TraceEventKind::Switch {
+                from_level,
+                to_level,
+                duration_ms,
+            } => format!(
+                ",\"from_level\":{from_level},\"to_level\":{to_level},\"duration_ms\":{}",
+                json_f64(duration_ms)
+            ),
         };
         format!("{head}{body}{suffix}}}")
     }

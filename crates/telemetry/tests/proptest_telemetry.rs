@@ -5,10 +5,13 @@
 //! 2. quantiles stay within one bucket width of the exact nearest-rank
 //!    sample for arbitrary sample sets and quantiles;
 //! 3. the ring buffer always retains exactly the newest `capacity` elements
-//!    in order and counts every eviction.
+//!    in order and counts every eviction;
+//! 4. histogram snapshot deltas re-merge bit-exactly across scrape windows;
+//! 5. the scraper's counter deltas are never negative, reconcile with the
+//!    cumulative totals, and survive a wall-clock scrub replay.
 
 use proptest::prelude::*;
-use rt3_telemetry::{RingBuffer, StreamingHistogram};
+use rt3_telemetry::{MetricsSnapshot, RingBuffer, Scraper, StreamingHistogram};
 
 /// Builds a histogram from a slice of samples.
 fn hist(samples: &[f64]) -> StreamingHistogram {
@@ -128,5 +131,100 @@ proptest! {
         );
         let expected: Vec<u32> = values[values.len() - expected_len..].to_vec();
         prop_assert_eq!(ring.to_vec(), expected, "newest elements, oldest first");
+    }
+
+    /// Invariant 4: snapshotting a cumulative histogram once per window and
+    /// re-applying the per-window deltas reconstructs the final histogram
+    /// *bit-exactly* — same buckets, same count, and the running sum equal
+    /// down to the last mantissa bit (deltas carry end-state absolutes, so
+    /// no re-derived arithmetic can round differently).
+    #[test]
+    fn histogram_delta_re_merge_round_trips_bit_exactly(
+        base in proptest::collection::vec(0.0f64..1.0e6, 0..50),
+        windows in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0e6, 0..50),
+            1..6,
+        ),
+    ) {
+        let mut cumulative = hist(&base);
+        let mut reconstructed = cumulative.clone();
+        let mut prev = cumulative.clone();
+        for chunk in &windows {
+            for &s in chunk {
+                cumulative.record(s);
+            }
+            let delta = cumulative
+                .delta_since(&prev)
+                .expect("a grown histogram always yields a delta");
+            prop_assert_eq!(delta.count(), chunk.len() as u64, "delta covers the window");
+            prop_assert_eq!(
+                delta.window_histogram().count(),
+                chunk.len() as u64,
+                "the window histogram holds exactly this window's samples"
+            );
+            reconstructed = reconstructed.apply_delta(&delta);
+            prev = cumulative.clone();
+        }
+        prop_assert_eq!(&reconstructed, &cumulative, "bit-exact across scrape windows");
+        prop_assert_eq!(reconstructed.sum().to_bits(), cumulative.sum().to_bits());
+    }
+
+    /// Invariant 5: scraping a monotone counter sequence never registers a
+    /// reset, the per-window deltas sum back to the cumulative totals, and
+    /// a wall-clock scrub removes exactly the `_wall_ms` histograms — so
+    /// two replays of the same logical run compare equal after scrubbing.
+    #[test]
+    fn scraper_deltas_reconcile_and_survive_wall_clock_scrub(
+        increments in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000, 2),
+            1..30,
+        ),
+    ) {
+        let names = ["requests_admitted", "requests_completed"];
+        let run = |wall_scale: f64| {
+            let mut scraper = Scraper::new(1_000.0, 64, Scraper::default_series());
+            let mut totals = [0u64; 2];
+            // cumulative like a real registry histogram, but with values
+            // that differ between the two replays until scrubbed — the
+            // stand-in for nondeterministic wall-clock timings
+            let mut wall = StreamingHistogram::new();
+            for (t, inc) in increments.iter().enumerate() {
+                for (total, delta) in totals.iter_mut().zip(inc) {
+                    *total += delta;
+                }
+                wall.record(wall_scale * (t + 1) as f64);
+                let snapshot = MetricsSnapshot {
+                    counters: names
+                        .iter()
+                        .zip(totals)
+                        .map(|(n, v)| (n.to_string(), v))
+                        .collect(),
+                    gauges: vec![("queue_depth".to_string(), t as f64)],
+                    histograms: vec![("pool_batch_wall_ms".to_string(), wall.clone())],
+                };
+                scraper.scrape(t as u32, (t + 1) as f64 * 1_000.0, snapshot);
+            }
+            (scraper, totals)
+        };
+
+        let (mut a, totals) = run(1.0);
+        let (mut b, _) = run(7.5);
+
+        prop_assert_eq!(a.counter_resets(), 0, "monotone counters never reset");
+        prop_assert_eq!(a.windows_dropped(), 0, "capacity covers the run");
+        for (name, total) in names.iter().zip(totals) {
+            let sum: u64 = a.windows().iter().map(|w| w.counter(name)).sum();
+            prop_assert_eq!(sum, total, "deltas of {} sum to the cumulative total", name);
+        }
+
+        a.scrub_wall_clock();
+        b.scrub_wall_clock();
+        prop_assert!(
+            a.windows()
+                .iter()
+                .all(|w| w.histogram("pool_batch_wall_ms").is_none()),
+            "wall-clock histograms are scrubbed"
+        );
+        prop_assert_eq!(&a, &b, "scrubbed replays are bit-identical");
     }
 }

@@ -19,7 +19,8 @@
 //! * `RT3_TELEMETRY` — `jsonl:<path>`: record the runs at the `Full`
 //!   telemetry level and dump the predictive run's per-device metrics,
 //!   request traces, decision audits and router counters to `<path>` as
-//!   JSONL (one `"device"` label per line, the router as `"router"`).
+//!   JSONL (one `"device"` label per line, the router as `"router"`, the
+//!   fleet-wide merged aggregate as `"fleet"`).
 //!
 //! The pass/fail assertions only run in the default configuration — with
 //! overrides the example is exploratory.
@@ -210,6 +211,13 @@ fn main() {
             .as_ref()
             .expect("Full telemetry attaches the router snapshot");
         jsonl.push_str(&router.to_jsonl(&[("device", "router")]));
+        // the fleet-wide aggregate: counters added, histograms
+        // bucket-merged, traces concatenated — one stream a dashboard can
+        // consume without re-implementing the merge
+        let merged = predictive
+            .merged_device_telemetry()
+            .expect("every device ran with telemetry");
+        jsonl.push_str(&merged.to_jsonl(&[("device", "fleet")]));
         std::fs::write(path, &jsonl).expect("write telemetry JSONL");
         println!(
             "telemetry: {} JSONL lines written to {}",
