@@ -65,6 +65,20 @@ impl BankedModel {
     /// matrices are carved out of `scratch` instead of freshly allocated,
     /// which is what the worker pool runs per micro-batch.
     pub fn infer_with(&self, batch: usize, scratch: &mut InferScratch) -> f64 {
+        self.infer_impl(batch, scratch, 1)
+    }
+
+    /// [`Self::infer_with`] with intra-matmul parallelism: every weight's
+    /// matmul splits its block-row space across up to `workers` scoped
+    /// threads (`PatternPrunedMatrix::par_matmul_dense_into`). The parallel
+    /// kernel is bit-identical to the serial one for every worker count, so
+    /// the checksum is too — this is how the pool saturates its workers
+    /// when a dispatch window carries fewer batches than threads.
+    pub fn infer_par_with(&self, batch: usize, scratch: &mut InferScratch, workers: usize) -> f64 {
+        self.infer_impl(batch, scratch, workers)
+    }
+
+    fn infer_impl(&self, batch: usize, scratch: &mut InferScratch, workers: usize) -> f64 {
         let width = batch.max(1);
         let mut checksum = 0.0f64;
         for (idx, (_, weight)) in self.weights.iter().enumerate() {
@@ -81,7 +95,11 @@ impl BankedModel {
             let mut out_buf = std::mem::take(&mut scratch.out);
             out_buf.resize(weight.rows() * width, 0.0);
             let mut out = Matrix::from_vec(weight.rows(), width, out_buf);
-            weight.matmul_dense_into(&rhs, &mut out);
+            if workers <= 1 {
+                weight.matmul_dense_into(&rhs, &mut out);
+            } else {
+                weight.par_matmul_dense_into(&rhs, &mut out, workers);
+            }
             checksum += out.frobenius_norm() as f64;
             scratch.rhs = rhs.into_vec();
             scratch.out = out.into_vec();

@@ -192,16 +192,43 @@ pub struct LevelCalibration {
     pub curve: AmortisationCurve,
 }
 
+/// Measured cost of one V/F switch: with the `from` variant resident, the
+/// wall-clock cost of materialising the `to` variant from scratch —
+/// mask combination, block scoring through the detected SIMD backend and
+/// plan compilation ([`ModelBank::rebuild_cold`]), which is exactly what a
+/// governor transition to a non-resident level pays before it can serve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchCalibration {
+    /// Source governor level position (resident while the switch is timed).
+    pub from_level: usize,
+    /// Destination governor level position (the one being built).
+    pub to_level: usize,
+    /// Best-of-samples wall-clock milliseconds of the switch.
+    pub switch_cost_ms: f64,
+}
+
 /// Outcome of a [`calibrate`] pass: per-level measurements plus the curves.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationReport {
     /// One entry per governor level position.
     pub levels: Vec<LevelCalibration>,
+    /// Measured V/F switch costs, one entry per ordered level pair
+    /// (`from != to`).
+    pub switches: Vec<SwitchCalibration>,
     /// The options the pass ran with.
     pub options: CalibrationOptions,
 }
 
 impl CalibrationReport {
+    /// The measured switch cost for an ordered level pair, if that pair was
+    /// timed.
+    pub fn switch_cost_ms(&self, from_level: usize, to_level: usize) -> Option<f64> {
+        self.switches
+            .iter()
+            .find(|s| s.from_level == from_level && s.to_level == to_level)
+            .map(|s| s.switch_cost_ms)
+    }
+
     /// Mean absolute deviation between the *raw* measured multipliers
     /// (before the monotone clamp) and the fixed-α curve over every
     /// `(level, batch)` point — how far reality sits from the assumed
@@ -343,10 +370,53 @@ pub fn calibrate<M: Model>(
             curve,
         });
     }
+    let switches = calibrate_switches(bank, &options);
     (
         Calibrated::new(latency, curves),
-        CalibrationReport { levels, options },
+        CalibrationReport {
+            levels,
+            switches,
+            options,
+        },
     )
+}
+
+/// Times every ordered V/F level pair: the `from` variant is built and
+/// warmed (one batch-of-one inference) so the machine state resembles
+/// steady serving at that level, then the cold rebuild of each `to` variant
+/// is timed best-of-samples. Faster lowering kernels (the SIMD-backed block
+/// scoring) show up directly in these numbers, which is why the pass
+/// re-measures them instead of reusing the analytic
+/// [`ModelBank::switch_cost`].
+fn calibrate_switches<M: Model>(
+    bank: &ModelBank<'_, M>,
+    options: &CalibrationOptions,
+) -> Vec<SwitchCalibration> {
+    let mut switches = Vec::with_capacity(bank.levels().saturating_sub(1) * bank.levels());
+    for from_level in 0..bank.levels() {
+        let resident = bank.rebuild_cold(from_level);
+        let _ = pool::run_batches(&resident, &[1], options.workers);
+        for to_level in 0..bank.levels() {
+            if to_level == from_level {
+                continue;
+            }
+            let samples: Vec<f64> = (0..options.samples)
+                .map(|_| {
+                    let start = std::time::Instant::now();
+                    let built = bank.rebuild_cold(to_level);
+                    let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+                    assert!(built.stored_values() > 0, "switch built an empty variant");
+                    elapsed_ms
+                })
+                .collect();
+            switches.push(SwitchCalibration {
+                from_level,
+                to_level,
+                switch_cost_ms: best_sample(&samples),
+            });
+        }
+    }
+    switches
 }
 
 #[cfg(test)]
@@ -431,6 +501,7 @@ mod tests {
                     .collect(),
                 curve: AmortisationCurve::from_raw(&raw), // clamps to [1, 2, 2]
             }],
+            switches: Vec::new(),
             options: CalibrationOptions::quick(),
         };
         // fixed α = 0.5 gives multipliers [1.0, 1.5, 2.0]; the deviation is
@@ -441,9 +512,34 @@ mod tests {
         // no points, no deviation
         let empty = CalibrationReport {
             levels: Vec::new(),
+            switches: Vec::new(),
             options: CalibrationOptions::quick(),
         };
         assert_eq!(empty.mean_abs_deviation_from_alpha(0.5), 0.0);
+    }
+
+    #[test]
+    fn switch_cost_lookup_finds_only_measured_pairs() {
+        let report = CalibrationReport {
+            levels: Vec::new(),
+            switches: vec![
+                SwitchCalibration {
+                    from_level: 0,
+                    to_level: 1,
+                    switch_cost_ms: 2.5,
+                },
+                SwitchCalibration {
+                    from_level: 1,
+                    to_level: 0,
+                    switch_cost_ms: 1.75,
+                },
+            ],
+            options: CalibrationOptions::quick(),
+        };
+        assert_eq!(report.switch_cost_ms(0, 1), Some(2.5));
+        assert_eq!(report.switch_cost_ms(1, 0), Some(1.75));
+        assert_eq!(report.switch_cost_ms(0, 0), None, "self-pairs not timed");
+        assert_eq!(report.switch_cost_ms(0, 2), None);
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod calibrated;
 pub use analytic::Analytic;
 pub use calibrated::{
     calibrate, AmortisationCurve, Calibrated, CalibrationOptions, CalibrationPoint,
-    CalibrationReport, LevelCalibration,
+    CalibrationReport, LevelCalibration, SwitchCalibration,
 };
 
 use rt3_hardware::{PerformancePredictor, VfLevel};

@@ -90,7 +90,7 @@ pub use chaos::{
 pub use controller::{HysteresisConfig, LevelDecision, RuntimeController, Telemetry};
 pub use cost::{
     calibrate, AmortisationCurve, Analytic, Calibrated, CalibrationOptions, CalibrationReport,
-    CostConfig, CostModel, LatencyModel,
+    CostConfig, CostModel, LatencyModel, SwitchCalibration,
 };
 pub use engine::{RuntimePolicy, ServeConfig, ServeEngine};
 pub use fleet::{

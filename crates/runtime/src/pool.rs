@@ -36,16 +36,41 @@ pub fn time_batches(model: &BankedModel, batches: &[usize], workers: usize) -> (
 /// Runs each batch size in `batches` through `model` as a real sparse
 /// forward pass, using up to `workers` OS threads.
 ///
-/// Batches are split into contiguous chunks, one per thread; every thread
-/// returns its per-batch checksums and the flat list is summed once in batch
+/// When the window carries at least as many batches as workers, batches
+/// are split into contiguous chunks, one per thread; every thread returns
+/// its per-batch checksums and the flat list is summed once in batch
 /// order, so the result is bit-identical for any worker count. Each worker
 /// owns one [`InferScratch`], so steady-state batches run through the
 /// compiled-plan kernel without heap allocation.
+///
+/// When batches are scarcer than workers (e.g. one large inference against
+/// a 4-thread pool), batch-level chunking would idle most of the pool, so
+/// the batches instead run in order with *intra-matmul* row-range
+/// parallelism ([`BankedModel::infer_par_with`]): each weight's matmul
+/// splits its block rows across the workers — capped to the host's actual
+/// hardware parallelism, because fanning one matmul across more threads
+/// than cores is pure oversubscription on the *real* wall clock (on a
+/// single-core host the cap disables the intra path entirely and the
+/// window runs serially, exactly the pre-PR-10 behaviour). The parallel
+/// kernel is bit-identical to the serial one, so the checksum stays
+/// independent of the worker count either way.
 pub fn run_batches(model: &BankedModel, batches: &[usize], workers: usize) -> PoolOutcome {
     if batches.is_empty() {
         return PoolOutcome {
             batches: 0,
             checksum: 0.0,
+        };
+    }
+    let intra = intra_workers(workers, batches.len());
+    if intra > 1 {
+        let mut scratch = InferScratch::new();
+        let checksum = batches
+            .iter()
+            .map(|&b| model.infer_par_with(b, &mut scratch, intra))
+            .sum();
+        return PoolOutcome {
+            batches: batches.len() as u64,
+            checksum,
         };
     }
     let workers = workers.clamp(1, batches.len());
@@ -72,6 +97,27 @@ pub fn run_batches(model: &BankedModel, batches: &[usize], workers: usize) -> Po
         batches: batches.len() as u64,
         checksum,
     }
+}
+
+/// Decides the intra-matmul fan-out of a scarce-batch window: the
+/// configured worker count capped to the host's hardware parallelism
+/// (probed once, cached). Returns `0` or `1` when the intra path should
+/// not be taken — batches are plentiful, or the host cannot actually run
+/// the row ranges concurrently (a simulated 4-worker device on a 1-core
+/// build host must not oversubscribe the real wall clock the loopback
+/// pacing tests measure).
+fn intra_workers(workers: usize, batches: usize) -> usize {
+    if workers <= batches {
+        return 0;
+    }
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
+    let available = *AVAILABLE.get_or_init(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    workers.min(available)
 }
 
 /// Telemetry hooks for an instrumented pool run: the clock that times each
@@ -105,6 +151,24 @@ pub fn run_batches_instrumented(
         return PoolOutcome {
             batches: 0,
             checksum: 0.0,
+        };
+    }
+    let intra = intra_workers(workers, batches.len());
+    if intra > 1 {
+        // scarce-batch window: same intra-matmul strategy as
+        // `run_batches`, timed batch by batch on the caller's thread
+        let mut scratch = InferScratch::new();
+        let mut checksum = 0.0;
+        for &b in batches {
+            let begin_ms = telemetry.clock.now_ms();
+            checksum += model.infer_par_with(b, &mut scratch, intra);
+            let wall_ms = telemetry.clock.now_ms() - begin_ms;
+            shard.add(telemetry.batches, 1);
+            shard.record(telemetry.batch_wall_ms, wall_ms);
+        }
+        return PoolOutcome {
+            batches: batches.len() as u64,
+            checksum,
         };
     }
     let workers = workers.clamp(1, batches.len());
@@ -185,6 +249,35 @@ mod tests {
         assert_eq!(serial.checksum, parallel.checksum);
         assert_eq!(serial.checksum, oversubscribed.checksum);
         assert!(serial.checksum.is_finite() && serial.checksum > 0.0);
+    }
+
+    #[test]
+    fn scarce_batch_window_is_bit_stable_through_intra_parallelism() {
+        // fewer batches than workers routes through infer_par_with (row-range
+        // parallel matmuls) when the host has the cores; the checksum must
+        // not move either way
+        let model = banked();
+        let batches = vec![4, 2];
+        let serial = run_batches(&model, &batches, 1);
+        for workers in [3usize, 8, 32] {
+            let intra = run_batches(&model, &batches, workers);
+            assert_eq!(serial.checksum, intra.checksum, "{workers} workers");
+        }
+        // single large inference against a multi-thread pool
+        let one = run_batches(&model, &[64], 4);
+        assert_eq!(one.checksum, run_batches(&model, &[64], 1).checksum);
+        // pin the parallel kernel itself (not just the pool's routing, which
+        // falls back to serial on a single-core host): infer_par_with must
+        // be bit-identical to infer_with for every fan-out
+        let mut scratch = InferScratch::new();
+        let reference = model.infer_with(4, &mut scratch);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(
+                reference,
+                model.infer_par_with(4, &mut scratch, workers),
+                "{workers}-way intra-matmul checksum"
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   shared per-pattern offset tables and a blocked SIMD-friendly kernel
 //!   (see `plan.rs`; the seed scalar kernel survives in [`reference`] for
 //!   bit-level cross-checks).
+//! * [`Backend`] — the runtime-detected kernel backend (`simd.rs`):
+//!   hand-written AVX2 kernels for the full-block widths the engines
+//!   dispatch, bit-identical to the compiled scalar fallback.
 //! * [`StorageReport`] — byte-level comparison across formats.
 //!
 //! # Examples
@@ -39,7 +42,10 @@
 //! assert!(bp.index_bytes < coo.index_bytes);
 //! ```
 
-#![forbid(unsafe_code)]
+// unsafe is denied crate-wide and only re-allowed inside `simd`, whose
+// `std::arch` kernels carry per-call safety contracts; everything else
+// stays safe Rust
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod block;
@@ -48,6 +54,7 @@ mod csr;
 mod pattern;
 mod plan;
 pub mod reference;
+mod simd;
 mod storage;
 
 pub use block::{BlockPartition, BlockPrunedMatrix, PrunedBlock};
@@ -55,4 +62,5 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use pattern::{PatternMask, PatternPrunedMatrix, PatternSet, SparseError};
 pub use plan::{CompiledPattern, PatternPlan};
+pub use simd::Backend;
 pub use storage::{FormatCost, SparseFormat, StorageReport};

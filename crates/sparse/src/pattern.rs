@@ -310,10 +310,11 @@ impl PatternSet {
     ///
     /// `block` may be smaller than the pattern (partial edge block); only
     /// the overlapping region is scored. Delegates to the same shared
-    /// scoring implementation [`crate::PatternPlan`] compiles with, so the
-    /// two paths cannot diverge; bulk assignment should go through
-    /// `PatternPrunedMatrix::from_dense`, which amortises the pattern
-    /// compilation this method redoes per call.
+    /// scoring implementation [`crate::PatternPlan`] compiles with —
+    /// including the detected SIMD backend for the squared-element
+    /// precompute — so the two paths cannot diverge; bulk assignment
+    /// should go through `PatternPrunedMatrix::from_dense`, which
+    /// amortises the pattern compilation this method redoes per call.
     pub fn best_pattern_for(&self, block: &Matrix) -> usize {
         let compiled: Vec<crate::CompiledPattern> = self
             .patterns
@@ -322,7 +323,17 @@ impl PatternSet {
             .collect();
         let h = block.rows().min(self.size());
         let w = block.cols().min(self.size());
-        crate::plan::best_pattern_for_block(&compiled, block.as_slice(), block.cols(), 0, h, w)
+        let mut squares = Vec::new();
+        crate::plan::best_pattern_for_block(
+            &compiled,
+            block.as_slice(),
+            block.cols(),
+            0,
+            h,
+            w,
+            crate::Backend::detect(),
+            &mut squares,
+        )
     }
 
     /// Bytes needed to ship this pattern set to the device: one bit per
@@ -359,6 +370,20 @@ impl PatternPrunedMatrix {
     pub fn from_dense(dense: &Matrix, set: &PatternSet) -> Self {
         Self {
             plan: PatternPlan::compile(dense, set),
+            set: set.clone(),
+        }
+    }
+
+    /// [`Self::from_dense`] with an explicit kernel backend (clamped to
+    /// CPU support); used by the bit-exactness suites to force the scalar
+    /// reference path on SIMD hosts.
+    pub fn from_dense_with_backend(
+        dense: &Matrix,
+        set: &PatternSet,
+        backend: crate::Backend,
+    ) -> Self {
+        Self {
+            plan: PatternPlan::compile_with_backend(dense, set, backend),
             set: set.clone(),
         }
     }
@@ -449,6 +474,18 @@ impl PatternPrunedMatrix {
     /// `(self.rows(), rhs.cols())`.
     pub fn matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix) {
         self.plan.matmul_into(rhs, out);
+    }
+
+    /// Intra-matmul parallel variant of [`Self::matmul_dense_into`]:
+    /// contiguous block-row ranges on scoped threads over disjoint output
+    /// slices, bit-identical to the serial kernel for every worker count
+    /// (see [`PatternPlan::par_matmul_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Same shape requirements as [`Self::matmul_dense_into`].
+    pub fn par_matmul_dense_into(&self, rhs: &Matrix, out: &mut Matrix, workers: usize) {
+        self.plan.par_matmul_into(rhs, out, workers);
     }
 
     /// Bytes to store the matrix: packed values + one `u16` pattern id per
@@ -599,6 +636,48 @@ mod tests {
         // metadata: 16 blocks * 2 bytes + 2 patterns * ceil(25/8) bytes
         assert_eq!(pp.index_bytes(), 16 * 2 + 2 * 4);
         assert_eq!(pp.stored_values(), 16 * 10);
+    }
+
+    #[test]
+    fn lowering_backend_is_bit_stable() {
+        // the SIMD squared-element precompute used during block scoring
+        // must produce the exact assignments and packed values the scalar
+        // lowering produces — rebuild_cold cost drops, results do not move
+        let mut rng = StdRng::seed_from_u64(77);
+        let dense = Matrix::xavier(37, 29, &mut rng);
+        let set = PatternSet::new(
+            (0..4)
+                .map(|_| PatternMask::random(8, 0.75, &mut rng))
+                .collect(),
+        )
+        .unwrap();
+        let detected = PatternPrunedMatrix::from_dense(&dense, &set);
+        let scalar =
+            PatternPrunedMatrix::from_dense_with_backend(&dense, &set, crate::Backend::Scalar);
+        assert_eq!(detected.assignments(), scalar.assignments());
+        assert_eq!(detected.stored_values(), scalar.stored_values());
+        for bi in 0..detected.assignments().len() {
+            let d = detected.plan().block_values(bi);
+            let s = scalar.plan().block_values(bi);
+            assert_eq!(d.len(), s.len());
+            for (a, b) in d.iter().zip(s) {
+                assert_eq!(a.to_bits(), b.to_bits(), "block {bi} values diverged");
+            }
+        }
+        // and the per-call path agrees with the bulk path on every block
+        let (grid_rows, grid_cols) = detected.block_grid();
+        for br in 0..grid_rows {
+            for bc in 0..grid_cols {
+                let h = 8.min(dense.rows() - br * 8);
+                let w = 8.min(dense.cols() - bc * 8);
+                let block = dense.block(br * 8, bc * 8, h, w);
+                assert_eq!(
+                    detected.assignments()[br * grid_cols + bc] as usize,
+                    set.best_pattern_for(&block),
+                    "block ({br},{bc})"
+                );
+            }
+        }
     }
 
     #[test]

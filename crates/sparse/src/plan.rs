@@ -32,16 +32,43 @@
 //! ([`crate::reference::matmul_dense_scalar`]) — the accumulation order per
 //! output element is unchanged.
 //!
+//! On top of the compiled layout the plan carries three execution-time
+//! strategies (PR 10):
+//!
+//! * **Runtime-dispatched SIMD [`Backend`].** Detected once at plan
+//!   construction; on x86-64 with AVX2 the full-block kernels for
+//!   W ∈ {8, 16, 32, 64} run hand-written `std::arch` code (see
+//!   `simd.rs`), bit-identical to the scalar kernels they replace.
+//! * **Block-row-tiled column sweep for the w = 64 regime.** Once the rhs
+//!   no longer fits L1, `execute` switches to a column-major grid
+//!   traversal over small block-row tiles so each 2 KB rhs block-column
+//!   slice is reused across the whole tile while it is still cache-hot.
+//!   For a fixed output element the kept contributions still arrive in
+//!   ascending block-column order, so bit-exactness is preserved.
+//! * **Row-range parallelism.** [`PatternPlan::par_matmul_into`] splits
+//!   the block-row space into contiguous ranges balanced by stored-value
+//!   count and executes them on scoped threads over disjoint output
+//!   slices — no synchronization on the hot path, and each element is
+//!   still accumulated by exactly one thread in arena order.
+//!
 //! [`PatternPrunedMatrix`]: crate::PatternPrunedMatrix
 
 use crate::pattern::{PatternMask, PatternSet};
+use crate::simd::{self, Backend};
 use rt3_tensor::Matrix;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Number of f32 lanes the inner multiply-add is chunked by; wide enough
 /// for one 256-bit vector, small enough that narrow rhs widths still use
 /// the remainder loop efficiently.
 const LANES: usize = 8;
+
+/// Assumed L1 data-cache size for the w = 64 regime heuristic. 32 KB is
+/// the common mobile/embedded floor (and the paper's device class); a
+/// larger actual L1 only makes the tiled sweep kick in early, which is
+/// harmless because the tiling is bit-exact.
+const L1_BYTES: usize = 32 * 1024;
 
 /// One pattern lowered to flat offset tables: kept positions grouped by
 /// local row, CSR-style.
@@ -91,6 +118,15 @@ impl CompiledPattern {
 /// index; both [`PatternPlan::compile`] and
 /// [`PatternSet::best_pattern_for`] call this, so their assignments cannot
 /// drift apart.
+///
+/// The element squares are computed **once per block** into the reusable
+/// `squares` scratch through the detected SIMD `backend` (they were
+/// previously recomputed per candidate pattern); the per-pattern score is
+/// then the sum of the same single-rounded `v * v` products in the same
+/// row-major kept order as before, so the winning assignment is
+/// bit-identical to the scalar scoring — `lowering_backend_is_bit_stable`
+/// in `pattern.rs` pins this.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn best_pattern_for_block(
     compiled: &[CompiledPattern],
     data: &[f32],
@@ -98,18 +134,25 @@ pub(crate) fn best_pattern_for_block(
     base: usize,
     h: usize,
     w: usize,
+    backend: Backend,
+    squares: &mut Vec<f32>,
 ) -> usize {
+    squares.clear();
+    squares.resize(h * w, 0.0);
+    for r in 0..h {
+        let row = &data[base + r * stride..][..w];
+        backend.square_into(&mut squares[r * w..(r + 1) * w], row);
+    }
     let mut best = 0;
     let mut best_norm = f32::NEG_INFINITY;
     for (pi, cp) in compiled.iter().enumerate() {
         let mut norm = 0.0f32;
         for r in 0..h {
-            let row = &data[base + r * stride..][..w];
+            let sq_row = &squares[r * w..(r + 1) * w];
             let (s, e) = cp.row_range(r);
             for &c in &cp.cols[s..e] {
                 if (c as usize) < w {
-                    let v = row[c as usize];
-                    norm += v * v;
+                    norm += sq_row[c as usize];
                 }
             }
         }
@@ -140,6 +183,11 @@ pub struct PatternPlan {
     block_offsets: Vec<u32>,
     /// One compiled table per pattern in the set, in set order.
     compiled: Vec<CompiledPattern>,
+    /// Kernel backend the plan executes with. Process state, not model
+    /// data: it is skipped on serialization and re-detected for the host
+    /// CPU on deserialization ([`Backend::default`]).
+    #[serde(skip)]
+    backend: Backend,
 }
 
 impl PatternPlan {
@@ -154,6 +202,15 @@ impl PatternPlan {
     /// Panics if the set has more than `u16::MAX` patterns or the kept
     /// values do not fit a `u32` arena offset.
     pub fn compile(dense: &Matrix, set: &PatternSet) -> Self {
+        Self::compile_with_backend(dense, set, Backend::detect())
+    }
+
+    /// [`PatternPlan::compile`] with an explicit kernel backend. The
+    /// request is clamped to what the CPU supports
+    /// ([`Backend::validated`]); forcing [`Backend::Scalar`] is how the
+    /// proptest suite obtains the bit-exactness reference on SIMD hosts.
+    pub fn compile_with_backend(dense: &Matrix, set: &PatternSet, backend: Backend) -> Self {
+        let backend = backend.validated();
         assert!(
             set.len() <= u16::MAX as usize,
             "pattern set too large for u16 assignment indices"
@@ -176,14 +233,23 @@ impl PatternPlan {
         let mut block_offsets = Vec::with_capacity(blocks + 1);
         block_offsets.push(0u32);
         let mut arena: Vec<f32> = Vec::with_capacity(blocks * mean_ones);
+        let mut squares = Vec::with_capacity(psize * psize);
         for br in 0..grid_rows {
             let base_r = br * psize;
             let h = psize.min(rows - base_r);
             for bc in 0..grid_cols {
                 let base_c = bc * psize;
                 let w = psize.min(cols - base_c);
-                let best =
-                    best_pattern_for_block(&compiled, data, cols, base_r * cols + base_c, h, w);
+                let best = best_pattern_for_block(
+                    &compiled,
+                    data,
+                    cols,
+                    base_r * cols + base_c,
+                    h,
+                    w,
+                    backend,
+                    &mut squares,
+                );
                 assignments.push(best as u16);
                 // pack values in the pattern's row-major kept order;
                 // positions outside the logical matrix store 0.0 so every
@@ -217,12 +283,26 @@ impl PatternPlan {
             arena,
             block_offsets,
             compiled,
+            backend,
         }
     }
 
     /// Logical shape `(rows, cols)`.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
+    }
+
+    /// Kernel backend this plan executes with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Re-targets the plan to `backend` (clamped to what the CPU
+    /// supports). The lowered layout is backend-independent, so this only
+    /// swaps which kernels `matmul_into` dispatches.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend.validated();
+        self
     }
 
     /// Pattern side length.
@@ -309,54 +389,210 @@ impl PatternPlan {
     /// Panics if `rhs.rows()` does not match the plan's column count or
     /// `out` is not shaped `(rows, rhs.cols())`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.check_matmul_shapes(rhs, out);
+        out.fill_zero();
+        let width = rhs.cols();
+        if width == 0 {
+            return;
+        }
+        let (grid_rows, _) = self.grid;
+        self.dispatch_width(rhs.as_slice(), out.as_mut_slice(), width, 0..grid_rows);
+    }
+
+    /// [`PatternPlan::matmul_into`] with intra-matmul row-range
+    /// parallelism: the block-row space is split into at most `workers`
+    /// contiguous ranges balanced by stored-value count
+    /// ([`PatternPlan::row_splits`]) and each range runs on its own scoped
+    /// thread over a disjoint `split_at_mut` slice of `out`. There is no
+    /// synchronization on the hot path and every output element is
+    /// accumulated by exactly one thread in arena order, so the result is
+    /// bit-identical to [`PatternPlan::matmul_into`] for every worker
+    /// count (proptest-pinned in `tests/proptest_simd.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Same shape requirements as [`PatternPlan::matmul_into`].
+    pub fn par_matmul_into(&self, rhs: &Matrix, out: &mut Matrix, workers: usize) {
+        self.check_matmul_shapes(rhs, out);
+        out.fill_zero();
+        let width = rhs.cols();
+        if width == 0 {
+            return;
+        }
+        let splits = self.row_splits(workers);
+        let rhs_data = rhs.as_slice();
+        if splits.len() <= 1 {
+            let (grid_rows, _) = self.grid;
+            self.dispatch_width(rhs_data, out.as_mut_slice(), width, 0..grid_rows);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut rest: &mut [f32] = out.as_mut_slice();
+            for brs in splits {
+                let range_rows = (brs.end * self.psize).min(self.rows) - brs.start * self.psize;
+                let (chunk, tail) = std::mem::take(&mut rest).split_at_mut(range_rows * width);
+                rest = tail;
+                scope.spawn(move || self.dispatch_width(rhs_data, chunk, width, brs));
+            }
+        });
+    }
+
+    /// Splits the block-row space into at most `parts` contiguous,
+    /// non-empty ranges whose stored-value counts (the kernel work) are as
+    /// balanced as the block-row granularity allows, via binary targets on
+    /// the `block_offsets` prefix sums. Concatenated in order the ranges
+    /// cover `0..grid_rows` exactly.
+    pub fn row_splits(&self, parts: usize) -> Vec<Range<usize>> {
+        let (grid_rows, grid_cols) = self.grid;
+        if grid_rows == 0 || parts <= 1 {
+            return std::iter::once(0..grid_rows).collect();
+        }
+        let parts = parts.min(grid_rows);
+        let total = self.arena.len() as u64;
+        let mut splits = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 1..=parts {
+            let end = if p == parts {
+                grid_rows
+            } else {
+                // smallest block row with at least p/parts of the values
+                // strictly before it
+                let target = total * p as u64 / parts as u64;
+                let mut end = start;
+                while end < grid_rows && u64::from(self.block_offsets[end * grid_cols]) < target {
+                    end += 1;
+                }
+                end
+            };
+            if end > start {
+                splits.push(start..end);
+                start = end;
+            }
+        }
+        splits
+    }
+
+    fn check_matmul_shapes(&self, rhs: &Matrix, out: &Matrix) {
         assert_eq!(self.cols, rhs.rows(), "matmul shape mismatch");
         assert_eq!(
             out.shape(),
             (self.rows, rhs.cols()),
             "matmul output shape mismatch"
         );
-        out.fill_zero();
-        let width = rhs.cols();
-        if width == 0 {
-            return;
-        }
-        let rhs_data = rhs.as_slice();
-        let out_data = out.as_mut_slice();
-        // W = 0 selects the runtime-width general kernel
+    }
+
+    /// Monomorphizes on the rhs width and executes the block rows `brs`
+    /// into `out`, which holds exactly those rows (its row 0 is logical
+    /// row `brs.start * psize`). W = 0 selects the runtime-width general
+    /// kernel.
+    fn dispatch_width(&self, rhs: &[f32], out: &mut [f32], width: usize, brs: Range<usize>) {
         match width {
-            1 => self.execute::<1>(rhs_data, out_data, width),
-            4 => self.execute::<4>(rhs_data, out_data, width),
-            8 => self.execute::<8>(rhs_data, out_data, width),
-            16 => self.execute::<16>(rhs_data, out_data, width),
-            32 => self.execute::<32>(rhs_data, out_data, width),
-            64 => self.execute::<64>(rhs_data, out_data, width),
-            _ => self.execute::<0>(rhs_data, out_data, width),
+            1 => self.execute::<1>(rhs, out, width, brs),
+            4 => self.execute::<4>(rhs, out, width, brs),
+            8 => self.execute::<8>(rhs, out, width, brs),
+            16 => self.execute::<16>(rhs, out, width, brs),
+            32 => self.execute::<32>(rhs, out, width, brs),
+            64 => self.execute::<64>(rhs, out, width, brs),
+            _ => self.execute::<0>(rhs, out, width, brs),
         }
     }
 
-    /// Walks the block grid dispatching interior blocks to the branch-free
-    /// kernel (compile-time width `W` when non-zero) and edge blocks to the
-    /// clamped path.
-    fn execute<const W: usize>(&self, rhs: &[f32], out: &mut [f32], width: usize) {
-        let (grid_rows, grid_cols) = self.grid;
-        for br in 0..grid_rows {
-            let base_r = br * self.psize;
-            let full_rows = base_r + self.psize <= self.rows;
+    /// Walks the block rows `brs` dispatching interior blocks to the
+    /// branch-free kernels (compile-time width `W` when non-zero; SIMD
+    /// when the plan's backend covers `W`) and edge blocks to the clamped
+    /// path. In the w = 64 regime with an L1-overflowing rhs the walk
+    /// switches to the block-row-tiled column-major sweep.
+    fn execute<const W: usize>(
+        &self,
+        rhs: &[f32],
+        out: &mut [f32],
+        width: usize,
+        brs: Range<usize>,
+    ) {
+        let row_base = brs.start * self.psize;
+        if W == 64 && std::mem::size_of_val(rhs) > L1_BYTES {
+            self.execute_tiled::<W>(rhs, out, width, brs, row_base);
+            return;
+        }
+        let (_, grid_cols) = self.grid;
+        for br in brs {
             for bc in 0..grid_cols {
-                let bi = br * grid_cols + bc;
-                let base_c = bc * self.psize;
-                let cp = &self.compiled[self.assignments[bi] as usize];
-                let vals = self.block_values(bi);
-                if full_rows && base_c + self.psize <= self.cols {
-                    if W == 0 {
-                        self.block_full_general(cp, vals, base_r, base_c, rhs, out, width);
-                    } else {
-                        self.block_full_fixed::<W>(cp, vals, base_r, base_c, rhs, out);
-                    }
-                } else {
-                    self.block_edge(cp, vals, base_r, base_c, rhs, out, width);
+                self.process_block::<W>(br, bc, rhs, out, width, row_base);
+            }
+        }
+    }
+
+    /// Column-major grid sweep over small block-row tiles, for the wide
+    /// (w = 64) regime where the whole rhs blows L1: within a tile the
+    /// same rhs block-column slice (`psize * 64` floats — 2 KB at psize 8)
+    /// is applied to every block row of the tile while it is cache-hot,
+    /// and the tile bounds the out working set to roughly half of L1. For
+    /// any fixed output element the kept contributions still arrive in
+    /// ascending block-column order, so the accumulation order per element
+    /// — and therefore the result, bitwise — is unchanged.
+    fn execute_tiled<const W: usize>(
+        &self,
+        rhs: &[f32],
+        out: &mut [f32],
+        width: usize,
+        brs: Range<usize>,
+        row_base: usize,
+    ) {
+        let (_, grid_cols) = self.grid;
+        let tile = (L1_BYTES / 2 / (self.psize * width * std::mem::size_of::<f32>())).max(1);
+        let mut t = brs.start;
+        while t < brs.end {
+            let t_end = brs.end.min(t + tile);
+            for bc in 0..grid_cols {
+                for br in t..t_end {
+                    self.process_block::<W>(br, bc, rhs, out, width, row_base);
                 }
             }
+            t = t_end;
+        }
+    }
+
+    /// Executes one block of the grid. `out` holds the block rows starting
+    /// at logical row `row_base`; rhs indexing stays absolute.
+    #[inline]
+    fn process_block<const W: usize>(
+        &self,
+        br: usize,
+        bc: usize,
+        rhs: &[f32],
+        out: &mut [f32],
+        width: usize,
+        row_base: usize,
+    ) {
+        let (_, grid_cols) = self.grid;
+        let bi = br * grid_cols + bc;
+        let base_r = br * self.psize;
+        let base_c = bc * self.psize;
+        let cp = &self.compiled[self.assignments[bi] as usize];
+        let vals = self.block_values(bi);
+        let local_r = base_r - row_base;
+        if base_r + self.psize <= self.rows && base_c + self.psize <= self.cols {
+            if W == 0 {
+                self.block_full_general(cp, vals, local_r, base_c, rhs, out, width);
+            } else if self.backend.covers_width(W) {
+                // `covers_width` constant-folds the width test per
+                // monomorphization; the backend invariant (`Avx2` only
+                // after detection) makes the kernel's feature use sound
+                simd::block_full::<W>(
+                    &cp.row_ptr,
+                    &cp.cols,
+                    vals,
+                    self.psize,
+                    local_r,
+                    base_c,
+                    rhs,
+                    out,
+                );
+            } else {
+                self.block_full_fixed::<W>(cp, vals, local_r, base_c, rhs, out);
+            }
+        } else {
+            self.block_edge(cp, vals, base_r, base_c, local_r, rhs, out, width);
         }
     }
 
@@ -366,12 +602,18 @@ impl PatternPlan {
     /// (no per-element bounds checks, no output loads/stores per value),
     /// and the row is written back once. Accumulation per element stays in
     /// arena order, so the result is bit-identical to the scalar path.
+    /// This is also the loop the AVX2 kernels mirror (`simd::block_full`)
+    /// and the portable fallback when the backend is scalar.
+    ///
+    /// `local_r` is the block's first row *within `out`* (differs from the
+    /// logical row during `par_matmul_into`, whose threads see only their
+    /// own row-range slice).
     #[inline]
     fn block_full_fixed<const W: usize>(
         &self,
         cp: &CompiledPattern,
         vals: &[f32],
-        base_r: usize,
+        local_r: usize,
         base_c: usize,
         rhs: &[f32],
         out: &mut [f32],
@@ -381,7 +623,7 @@ impl PatternPlan {
             if s == e {
                 continue;
             }
-            let rr = base_r + r;
+            let rr = local_r + r;
             let out_row = &mut out[rr * W..(rr + 1) * W];
             let mut acc = [0.0f32; W];
             acc.copy_from_slice(out_row);
@@ -398,14 +640,14 @@ impl PatternPlan {
 
     /// Interior-block kernel for arbitrary rhs widths: each output row is
     /// sliced once and the inner loop is a chunked multiply-add over the
-    /// rhs row.
+    /// rhs row. `local_r` indexes `out` as in `block_full_fixed`.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     fn block_full_general(
         &self,
         cp: &CompiledPattern,
         vals: &[f32],
-        base_r: usize,
+        local_r: usize,
         base_c: usize,
         rhs: &[f32],
         out: &mut [f32],
@@ -416,7 +658,7 @@ impl PatternPlan {
             if s == e {
                 continue;
             }
-            let rr = base_r + r;
+            let rr = local_r + r;
             let out_row = &mut out[rr * width..(rr + 1) * width];
             for (&c, &v) in cp.cols[s..e].iter().zip(&vals[s..e]) {
                 let cc = base_c + c as usize;
@@ -428,6 +670,8 @@ impl PatternPlan {
 
     /// Edge-block kernel: rows and columns are clamped to the logical
     /// matrix bounds (only the last block row/column can land here).
+    /// `base_r` is the logical row (for the clamp); `local_r` indexes
+    /// `out` as in `block_full_fixed`.
     #[allow(clippy::too_many_arguments)]
     fn block_edge(
         &self,
@@ -435,6 +679,7 @@ impl PatternPlan {
         vals: &[f32],
         base_r: usize,
         base_c: usize,
+        local_r: usize,
         rhs: &[f32],
         out: &mut [f32],
         width: usize,
@@ -443,7 +688,7 @@ impl PatternPlan {
         let w = self.psize.min(self.cols - base_c);
         for r in 0..h {
             let (s, e) = cp.row_range(r);
-            let rr = base_r + r;
+            let rr = local_r + r;
             let out_row = &mut out[rr * width..(rr + 1) * width];
             for (&c, &v) in cp.cols[s..e].iter().zip(&vals[s..e]) {
                 if c as usize >= w {
@@ -538,6 +783,49 @@ mod tests {
             );
         }
         assert_eq!(plan.stored_values(), 9 * 4); // 9 blocks x 4 kept each
+    }
+
+    #[test]
+    fn row_splits_cover_grid_and_balance_values() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let dense = Matrix::xavier(64, 32, &mut rng);
+        let set = set_of(4, 0.5, 3, 42);
+        let plan = PatternPlan::compile(&dense, &set);
+        let (grid_rows, _) = plan.block_grid();
+        for parts in 1..=grid_rows + 3 {
+            let splits = plan.row_splits(parts);
+            assert!(!splits.is_empty());
+            assert!(splits.len() <= parts.max(1));
+            assert_eq!(splits[0].start, 0);
+            assert_eq!(splits.last().unwrap().end, grid_rows);
+            for w in splits.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+                assert!(!w[0].is_empty() && !w[1].is_empty());
+            }
+        }
+        // with one range per block row the split is maximal
+        assert_eq!(plan.row_splits(grid_rows).len(), grid_rows);
+    }
+
+    #[test]
+    fn par_matmul_matches_serial_for_all_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let dense = Matrix::xavier(50, 30, &mut rng);
+        let set = set_of(4, 0.5, 3, 44);
+        let plan = PatternPlan::compile(&dense, &set);
+        for width in [1usize, 3, 8, 64] {
+            let rhs = Matrix::xavier(30, width, &mut rng);
+            let mut serial = Matrix::zeros(50, width);
+            plan.matmul_into(&rhs, &mut serial);
+            for workers in [1usize, 2, 3, 7, 64] {
+                let mut par = Matrix::zeros(50, width);
+                plan.par_matmul_into(&rhs, &mut par, workers);
+                assert!(
+                    par.approx_eq(&serial, 0.0),
+                    "width {width} workers {workers} diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -102,6 +102,29 @@ fn main() {
          \"mean_abs_deviation\": {:.4}}}",
         report.mean_abs_deviation_from_alpha(alpha),
     );
+    // measured V/F switch costs (cold rebuild of the destination variant
+    // with the source resident), one JSON entry per ordered level pair
+    let switch_entries: Vec<String> = report
+        .switches
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"from\": {}, \"to\": {}, \"switch_cost_ms\": {:.4}}}",
+                s.from_level, s.to_level, s.switch_cost_ms
+            )
+        })
+        .collect();
+    println!(
+        "{{\"bench\": \"cost_calibration/switches\", \"backend\": \"{}\", \"pairs\": [{}]}}",
+        rt3::sparse::Backend::detect().label(),
+        switch_entries.join(",")
+    );
+    for s in &report.switches {
+        println!(
+            "switch {} -> {}: {:.2} ms (measured cold rebuild)",
+            s.from_level, s.to_level, s.switch_cost_ms
+        );
+    }
 
     // ---- compare: fixed alpha vs measured curve on the bursty trace ------
     let scenario = Scenario::default_bursty();
